@@ -1,0 +1,44 @@
+"""E7 — §4 "Network Collaboration": filtering unwanted traffic at the remote branch.
+
+Regenerates the two-branch experiment: branch B's controller augments
+ident++ responses with what it will not accept, so branch A drops those
+flows before they cross the bottleneck WAN link.  The series reported is
+bottleneck bytes and remote controller load versus the unwanted-traffic
+fraction, with and without collaboration.  Expected shape: bytes saved
+grow proportionally to the unwanted fraction; wanted traffic unaffected.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.workloads.comparative import CollaborationScenario
+
+
+def run_pair(unwanted_fraction: float, flows: int = 12, packets: int = 3):
+    without = CollaborationScenario(collaborate=False, flows=flows,
+                                    unwanted_fraction=unwanted_fraction,
+                                    packets_per_flow=packets).run()
+    with_collab = CollaborationScenario(collaborate=True, flows=flows,
+                                        unwanted_fraction=unwanted_fraction,
+                                        packets_per_flow=packets).run()
+    return without, with_collab
+
+
+def test_collaboration_saves_bottleneck_bandwidth(benchmark):
+    without, with_collab = benchmark(lambda: run_pair(0.5))
+    rows = []
+    for fraction in (0.0, 0.25, 0.5, 0.75):
+        base, collab = run_pair(fraction)
+        saved = 1.0 - (collab.bottleneck_bytes / base.bottleneck_bytes) if base.bottleneck_bytes else 0.0
+        rows.append({
+            "unwanted_fraction": fraction,
+            "bottleneck_bytes_no_collab": base.bottleneck_bytes,
+            "bottleneck_bytes_collab": collab.bottleneck_bytes,
+            "bytes_saved_fraction": round(saved, 3),
+            "remote_packet_ins_no_collab": base.remote_packet_ins,
+            "remote_packet_ins_collab": collab.remote_packet_ins,
+        })
+    emit(format_table(rows, title="E7 — network collaboration: bottleneck traffic saved"))
+    assert with_collab.bottleneck_bytes < without.bottleneck_bytes
+    # savings grow with the unwanted fraction
+    assert rows[-1]["bytes_saved_fraction"] > rows[0]["bytes_saved_fraction"]

@@ -1,0 +1,40 @@
+"""E1 — Figure 1: reactive flow setup through the ident++ controller.
+
+Regenerates the Figure 1 walkthrough as a latency breakdown: control
+channel, ident++ queries to both ends, policy evaluation, and end-to-end
+delivery of the flow's first packet, swept over link latency and path
+length.  The paper reports no numbers; the expected *shape* is that the
+ident++ queries dominate flow-setup latency and grow with the distance
+between controller-adjacent switch and end-hosts.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.workloads.scenarios import FlowSetupScenario
+
+
+def test_flow_setup_latency_breakdown(benchmark):
+    """Benchmark one complete reactive flow setup (build + punt + query + decide + deliver)."""
+
+    def run_once():
+        return FlowSetupScenario(switch_count=2).run()
+
+    measurement = benchmark(run_once)
+    assert measurement.delivered
+
+    rows = []
+    for switches in (1, 2, 4):
+        for latency in (50e-6, 500e-6, 5e-3):
+            sample = FlowSetupScenario(switch_count=switches, link_latency=latency).run()
+            rows.append({
+                "switches": switches,
+                "link_latency_ms": latency * 1e3,
+                "query_ms": sample.query_latency * 1e3,
+                "decision_ms": sample.controller_decision_latency * 1e3,
+                "end_to_end_ms": sample.end_to_end_delivery * 1e3,
+                "delivered": sample.delivered,
+            })
+    emit(format_table(rows, title="E1 / Figure 1 — flow-setup latency breakdown"))
+    assert all(row["delivered"] for row in rows)
+    assert rows[-1]["end_to_end_ms"] > rows[0]["end_to_end_ms"]

@@ -1,0 +1,43 @@
+"""E4 — Figures 4 and 5: delegation to users (the research application).
+
+Regenerates the research-delegation matrix: researcher-signed
+requirements let research apps talk to each other on non-production
+machines; anything tampered, unsigned or out of scope is blocked.  The
+benchmark measures the delegated decision (which includes parsing the
+delegated rules and verifying the RSA signature).
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.identpp.flowspec import FlowSpec
+from repro.workloads.scenarios import ResearchDelegationScenario
+
+
+def test_research_delegation_matrix(benchmark):
+    scenario = ResearchDelegationScenario()
+    results = scenario.run()
+    rows = [
+        {"case": r.label, "expected": r.expected_action, "observed": r.actual_action,
+         "correct": r.correct}
+        for r in results
+    ]
+    emit(format_table(rows, title="E4 / Figures 4-5 — research delegation verdicts"))
+    assert all(row["correct"] for row in rows)
+
+    # Benchmark the delegated decision itself (allowed() + verify() path).
+    from repro.identpp.wire import IdentQuery
+
+    controller = scenario.net.controller
+    daemon_a = scenario.net.daemon("research-a")
+    daemon_b = scenario.net.daemon("research-b")
+    host_a = scenario.net.host("research-a")
+    packet, _, _ = host_a.open_flow(
+        "research-app", "carol", scenario.RESEARCH_B, scenario.APP_PORT, send=False
+    )
+    good_flow = FlowSpec.from_packet(packet)
+    src_doc = daemon_a.answer(IdentQuery(flow=good_flow, target_role="src")).document
+    dst_doc = daemon_b.answer(IdentQuery(flow=good_flow, target_role="dst")).document
+
+    decision = benchmark(lambda: controller.decide_flow(good_flow, src_doc, dst_doc))
+    assert decision.delegated and "verify" in decision.delegation_functions

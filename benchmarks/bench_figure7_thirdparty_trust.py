@@ -1,0 +1,40 @@
+"""E5 — Figures 6 and 7: trust delegation to the third party "Secur".
+
+Regenerates the Secur matrix (approved thunderbird reaches mail servers,
+everything else blocked) and benchmarks the third-party-verified
+decision.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.wire import IdentQuery
+from repro.workloads.scenarios import ThirdPartyTrustScenario
+
+
+def test_thirdparty_trust_matrix(benchmark):
+    scenario = ThirdPartyTrustScenario()
+    results = scenario.run()
+    rows = [
+        {"case": r.label, "expected": r.expected_action, "observed": r.actual_action,
+         "correct": r.correct}
+        for r in results
+    ]
+    emit(format_table(rows, title="E5 / Figures 6-7 — Secur trust delegation verdicts"))
+    assert all(row["correct"] for row in rows)
+
+    controller = scenario.net.controller
+    client_host = scenario.net.host("client")
+    packet, _, _ = client_host.open_flow(
+        "thunderbird", "alice", scenario.MAIL_SERVER, 25, send=False
+    )
+    flow = FlowSpec.from_packet(packet)
+    src_doc = scenario.net.daemon("client").answer(
+        IdentQuery(flow=flow, target_role="src")).document
+    dst_doc = scenario.net.daemon("mail-server").answer(
+        IdentQuery(flow=flow, target_role="dst")).document
+
+    decision = benchmark(lambda: controller.decide_flow(flow, src_doc, dst_doc))
+    assert decision.delegated
+    assert decision.principals == ("Secur",)

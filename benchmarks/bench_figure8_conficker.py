@@ -1,0 +1,30 @@
+"""E6 — Figure 8: user/application-specific rules (Conficker / MS08-067).
+
+Regenerates the Figure 8 matrix: only ``system`` users reach the Server
+service and only when the destination reports the MS08-067 patch;
+Conficker-style probes are blocked.  The benchmark measures the whole
+matrix through the datapath.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.workloads.scenarios import ConfickerScenario
+
+
+def test_conficker_mitigation_matrix(benchmark):
+    def run_matrix():
+        scenario = ConfickerScenario()
+        return scenario, scenario.run()
+
+    scenario, results = benchmark(run_matrix)
+    rows = [
+        {"case": r.label, "expected": r.expected_action, "observed": r.actual_action,
+         "correct": r.correct}
+        for r in results
+    ]
+    emit(format_table(rows, title="E6 / Figure 8 — Conficker mitigation verdicts"))
+    assert all(row["correct"] for row in rows)
+    # The worm probes specifically never reach a Server service.
+    worm_rows = [r for r in results if "Conficker" in r.label]
+    assert worm_rows and all(not r.delivered for r in worm_rows)

@@ -1,0 +1,82 @@
+"""E11 — decision caching in switch flow tables (§3.1).
+
+The OpenFlow controller "adds an entry for that flow in the switch's
+flow table to cache its decision".  This benchmark drives a skewed
+(Zipf) traffic mix through an ident++-protected switch and reports the
+flow-table hit rate and the controller load (packet-ins per packet) as
+flow locality varies.  Expected shape: the more skewed the popularity
+and the more packets per flow, the fewer packets reach the controller.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.core.network import HostSpec, IdentPPNetwork
+from repro.workloads.generators import FlowGenerator, FlowTemplate
+
+POLICY = {
+    "00-default.control": (
+        "block all\n"
+        "pass from any to any with member(@src[groupID], staff) keep state\n"
+    ),
+}
+
+
+def build_network(clients: int = 4):
+    net = IdentPPNetwork("cache-bench")
+    switch = net.add_switch("sw")
+    names = []
+    for index in range(clients):
+        name = f"client{index + 1}"
+        net.add_host(HostSpec(name=name, ip=f"192.168.0.{10 + index}",
+                              users={"alice": ("users", "staff")}), switch=switch)
+        names.append(name)
+    server = net.add_host(HostSpec(name="server", ip="192.168.1.1"), switch=switch)
+    server.run_server("httpd", "root", 80)
+    net.set_policy(POLICY)
+    return net, names
+
+
+def drive(net, names, *, packets: int, new_connection_probability: float, zipf_skew):
+    templates = [
+        FlowTemplate(name, "server", str(net.host(name).ip), "192.168.1.1", 80, "http", "alice")
+        for name in names
+    ]
+    generator = FlowGenerator(templates, seed=11, zipf_skew=zipf_skew)
+    sockets = {}
+    for template, flow in generator.sequence(packets, new_connection_probability=new_connection_probability):
+        host = net.host(template.src_host)
+        key = flow.as_tuple()
+        if key not in sockets:
+            _, socket, _ = host.open_flow(template.app_name, template.user_name,
+                                          template.dst_ip, template.dst_port)
+            sockets[key] = (host, socket)
+        else:
+            owner, socket = sockets[key]
+            owner.send_on_socket(socket)
+        net.topology.run()
+    switch = net.switches["sw"]
+    stats = switch.flow_table.stats()
+    return {
+        "packets": packets,
+        "distinct_flows": len(sockets),
+        "flow_table_hit_rate": round(stats["hit_rate"], 3),
+        "controller_packet_ins": int(net.controller.packet_ins.value),
+    }
+
+
+def test_flow_table_cache_hit_rate(benchmark):
+    def run_skewed():
+        net, names = build_network()
+        return drive(net, names, packets=60, new_connection_probability=0.2, zipf_skew=1.2)
+
+    skewed = benchmark(run_skewed)
+
+    rows = [dict(skewed, workload="zipf, long-lived flows")]
+    net, names = build_network()
+    uniform = drive(net, names, packets=60, new_connection_probability=1.0, zipf_skew=None)
+    rows.append(dict(uniform, workload="uniform, every packet a new flow"))
+    emit(format_table(rows, title="E11 — switch flow-table caching of controller decisions"))
+
+    assert skewed["flow_table_hit_rate"] > uniform["flow_table_hit_rate"]
+    assert skewed["controller_packet_ins"] < uniform["controller_packet_ins"]

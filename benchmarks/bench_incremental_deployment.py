@@ -1,0 +1,60 @@
+"""E8 — §4 "Incremental Benefit": partial deployment still pays off.
+
+Two series:
+
+* server-side user identification behind a shared address, with and
+  without an end-host daemon (controllers not required), and
+* fraction of legitimate flows admitted versus daemon deployment
+  fraction, with and without the controller answering for legacy hosts.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.workloads.comparative import (
+    NATIdentificationScenario,
+    PartialDeploymentScenario,
+)
+
+
+def test_nat_user_identification(benchmark):
+    result = benchmark(lambda: NATIdentificationScenario(flows_per_user=3).run())
+    without = NATIdentificationScenario(flows_per_user=3, with_daemon=False).run()
+    rows = [
+        {"deployment": "ident++ daemon on the shared host",
+         "flows": result.flows, "identified_fraction": result.identified_fraction,
+         "distinct_users_seen": result.distinct_users_reported},
+        {"deployment": "no daemon (status quo)",
+         "flows": without.flows, "identified_fraction": without.identified_fraction,
+         "distinct_users_seen": without.distinct_users_reported},
+    ]
+    emit(format_table(rows, title="E8a — users behind one address, as seen by the server"))
+    assert result.identified_fraction == 1.0
+    assert without.identified_fraction == 0.0
+
+
+def test_partial_deployment_sweep(benchmark):
+    def one_point():
+        return PartialDeploymentScenario(clients=6, deployment_fraction=0.5).run()
+
+    benchmark(one_point)
+
+    rows = []
+    for answers in (False, True):
+        for fraction in (0.0, 0.5, 1.0):
+            point = PartialDeploymentScenario(
+                clients=6, deployment_fraction=fraction,
+                controller_answers_for_legacy=answers,
+            ).run()
+            rows.append({
+                "daemon_deployment": fraction,
+                "controller_answers_for_legacy": answers,
+                "legitimate_flows_allowed": point.allowed_fraction,
+            })
+    emit(format_table(rows, title="E8b — admitted legitimate flows vs deployment fraction"))
+    no_help = [r for r in rows if not r["controller_answers_for_legacy"]]
+    helped = [r for r in rows if r["controller_answers_for_legacy"]]
+    # without answering, admission tracks deployment; with answering it is complete
+    assert no_help[0]["legitimate_flows_allowed"] == 0.0
+    assert no_help[-1]["legitimate_flows_allowed"] == 1.0
+    assert all(r["legitimate_flows_allowed"] == 1.0 for r in helped)

@@ -1,0 +1,40 @@
+"""E9 — the §5 security analysis as a quantitative matrix.
+
+For each architecture (ident++, vanilla firewall, distributed firewall,
+Ethane, VLAN) and each §5 compromise (user application, end-host,
+switch, controller), the harness reports the fraction of attack probes
+that succeed after the compromise and how many the attacker *gained*
+relative to its pre-compromise position.
+
+Expected shape (matching §5's prose): a controller compromise is total
+everywhere; a switch compromise does not affect end-host-enforced
+firewalls; under ident++ an application compromise is confined to that
+user's privileges while a full host compromise (spoofed daemon) buys
+more — the one place where believing end-hosts costs something.
+"""
+
+from conftest import emit
+
+from repro.analysis.report import format_table
+from repro.workloads.comparative import SecurityComparisonScenario
+
+
+def test_security_matrix(benchmark):
+    scenario = SecurityComparisonScenario()
+    matrix = benchmark(scenario.build_matrix)
+
+    emit(format_table(matrix.exposure_rows(),
+                      title="E9 — post-compromise exposure (fraction of probes that succeed)"))
+    emit(format_table(matrix.rows(),
+                      title="E9 — probes gained by the attacker (count)"))
+
+    def exposure(arch, needle):
+        for row in matrix.exposure_rows():
+            if needle in row["scenario"]:
+                return row[arch]
+        raise AssertionError(needle)
+
+    assert exposure("identpp", "controller") == 1.0
+    assert exposure("distributed-firewall", "switch") < exposure("identpp", "switch")
+    assert exposure("identpp", "user-application") <= exposure("identpp", "end-host")
+    assert exposure("identpp", "end-host") >= exposure("ethane", "end-host")

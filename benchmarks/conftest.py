@@ -1,0 +1,16 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*.py`` file regenerates one experiment from DESIGN.md's
+per-experiment index (E1–E12).  Benchmarks print the rows/series the
+experiment produces; run them with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import sys
+
+
+def emit(text: str) -> None:
+    """Print a result table so it is visible even with output capture on."""
+    sys.stdout.write("\n" + text + "\n")
+    sys.stdout.flush()

@@ -1,0 +1,11 @@
+"""Legacy setuptools entry point.
+
+Kept so that ``python setup.py develop`` works in fully offline
+environments where pip cannot build PEP 660 editable wheels (no
+``wheel`` package available).  Normal installs should use
+``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

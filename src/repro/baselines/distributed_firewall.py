@@ -1,0 +1,74 @@
+"""Distributed firewalls [9].
+
+"Distributed firewalls centralize the policy, and distribute enforcement
+to firewalls implemented on the end-host. ... Unfortunately, [they]
+suffer from a number of problems.  First, if enforcement is done only at
+the receiving end-host ..., the end-host can become vulnerable to denial
+of service attacks.  Second, a compromised end-host effectively has no
+protection.  The central administrator's policies are completely
+bypassed." (§6)
+
+The model here captures exactly those properties: the same rule language
+as the vanilla firewall, but the *enforcement point* is the destination
+host, so
+
+* a flow always traverses the network and consumes bandwidth before
+  being dropped (``enforced_at_destination``), and
+* when the destination host is compromised, :meth:`decide` passes
+  everything regardless of policy.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional
+
+from repro.baselines.base import ACTION_PASS, FlowContext
+from repro.baselines.vanilla_firewall import FirewallRule, VanillaFirewall
+from repro.identpp.flowspec import FlowSpec
+from repro.netsim.addresses import IPv4Address
+
+
+class DistributedFirewall(VanillaFirewall):
+    """End-host-enforced firewall with centrally distributed policy."""
+
+    enforced_at_destination = True
+
+    def __init__(
+        self,
+        rules: Iterable[FirewallRule] = (),
+        *,
+        default_action: str = "block",
+        name: str = "distributed-firewall",
+        compromised_hosts: Optional[set[IPv4Address]] = None,
+        host_compromise_check: Optional[Callable[[IPv4Address], bool]] = None,
+    ) -> None:
+        super().__init__(rules, default_action=default_action, name=name)
+        self.compromised_hosts: set[IPv4Address] = set(compromised_hosts or ())
+        self._host_compromise_check = host_compromise_check
+
+    def mark_host_compromised(self, address: IPv4Address | str) -> None:
+        """Record that the enforcement point at ``address`` is attacker-controlled."""
+        self.compromised_hosts.add(IPv4Address(address))
+
+    def _destination_compromised(self, flow: FlowSpec) -> bool:
+        if flow.dst_ip in self.compromised_hosts:
+            return True
+        if self._host_compromise_check is not None:
+            return bool(self._host_compromise_check(flow.dst_ip))
+        return False
+
+    def decide(self, flow: FlowSpec, context: Optional[FlowContext] = None) -> str:
+        """Apply the policy at the destination host.
+
+        A compromised destination enforces nothing (§6), and because the
+        packet already crossed the network, inbound denial-of-service
+        traffic still consumed bandwidth — callers measuring link load
+        should count the flow as having traversed the path either way.
+        """
+        if self._destination_compromised(flow):
+            self.decisions += 1
+            return ACTION_PASS
+        return super().decide(flow, context)
+
+    def uses_information(self) -> tuple[str, ...]:
+        return ("5-tuple", "end-host-local context")

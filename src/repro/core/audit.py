@@ -1,0 +1,113 @@
+"""The controller's audit log.
+
+A central motivation for delegation in the paper is that "only more
+recent architectures with strong central control make it possible to
+delegate control ..., log and audit the delegates' actions, and revoke
+the delegation if needed" (§1).  Every decision the ident++ controller
+makes — including those that honoured delegated (``allowed()``/
+``verify()``) rules — is recorded here so administrators can review what
+their delegates did.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional
+
+from repro.identpp.flowspec import FlowSpec
+
+
+@dataclass(frozen=True)
+class DecisionRecord:
+    """One policy decision."""
+
+    time: float
+    flow: FlowSpec
+    action: str
+    rule_text: str
+    rule_origin: str
+    cookie: str
+    delegated: bool = False
+    delegation_functions: tuple[str, ...] = ()
+    src_keys: dict[str, str] = field(default_factory=dict)
+    dst_keys: dict[str, str] = field(default_factory=dict)
+    query_latency: float = 0.0
+    cached: bool = False
+    note: str = ""
+
+    @property
+    def is_pass(self) -> bool:
+        """Return ``True`` when the flow was allowed."""
+        return self.action == "pass"
+
+
+class AuditLog:
+    """Append-only list of :class:`DecisionRecord` entries with query helpers."""
+
+    def __init__(self, name: str = "audit") -> None:
+        self.name = name
+        self._records: list[DecisionRecord] = []
+
+    def record(self, record: DecisionRecord) -> None:
+        """Append one decision."""
+        self._records.append(record)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[DecisionRecord]:
+        return iter(list(self._records))
+
+    def records(self) -> list[DecisionRecord]:
+        """Return all records in order."""
+        return list(self._records)
+
+    def filter(
+        self,
+        *,
+        action: Optional[str] = None,
+        delegated: Optional[bool] = None,
+        flow: Optional[FlowSpec] = None,
+        predicate: Optional[Callable[[DecisionRecord], bool]] = None,
+    ) -> list[DecisionRecord]:
+        """Return the records matching all given criteria."""
+        selected = self._records
+        if action is not None:
+            selected = [r for r in selected if r.action == action]
+        if delegated is not None:
+            selected = [r for r in selected if r.delegated == delegated]
+        if flow is not None:
+            selected = [r for r in selected if r.flow == flow]
+        if predicate is not None:
+            selected = [r for r in selected if predicate(r)]
+        return list(selected)
+
+    def delegated_decisions(self) -> list[DecisionRecord]:
+        """Return decisions that honoured delegated (allowed()/verify()) rules."""
+        return self.filter(delegated=True)
+
+    def decisions_for_user(self, user_id: str) -> list[DecisionRecord]:
+        """Return decisions whose source reported the given ``userID``."""
+        return [r for r in self._records if r.src_keys.get("userID") == user_id]
+
+    def pass_count(self) -> int:
+        """Return the number of allow decisions."""
+        return sum(1 for r in self._records if r.is_pass)
+
+    def block_count(self) -> int:
+        """Return the number of deny decisions."""
+        return sum(1 for r in self._records if not r.is_pass)
+
+    def summary(self) -> dict[str, int]:
+        """Return counts used by reports and tests."""
+        return {
+            "total": len(self._records),
+            "pass": self.pass_count(),
+            "block": self.block_count(),
+            "delegated": len(self.delegated_decisions()),
+            "cached": sum(1 for r in self._records if r.cached),
+        }
+
+    def clear(self) -> None:
+        """Discard all records."""
+        self._records.clear()

@@ -1,0 +1,127 @@
+"""Controller-side decision cache.
+
+Switch flow tables already cache decisions in the datapath (§3.1); the
+controller additionally keeps its own cache so that
+
+* a second switch on the same path punting the same flow (before its
+  entry arrives) does not trigger a second round of ident++ queries, and
+* the reverse direction of a ``keep state`` flow is approved without
+  re-querying.
+
+Entries carry the decision's cookie so revocation can drop exactly the
+affected cache lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.identpp.flowspec import FlowSpec
+from repro.pf.state import StateTable
+
+#: Default lifetime of a cached controller decision, in seconds.
+DEFAULT_DECISION_TTL = 60.0
+
+
+@dataclass
+class CachedDecision:
+    """One cached allow/deny decision."""
+
+    flow: FlowSpec
+    action: str
+    cookie: str
+    decided_at: float
+    keep_state: bool = False
+    rule_text: str = ""
+
+    @property
+    def is_pass(self) -> bool:
+        """Return ``True`` for allow decisions."""
+        return self.action == "pass"
+
+
+class DecisionCache:
+    """Flow → decision cache with TTL plus the ``keep state`` table."""
+
+    def __init__(self, *, ttl: float = DEFAULT_DECISION_TTL) -> None:
+        self.ttl = ttl
+        self._decisions: dict[FlowSpec, CachedDecision] = {}
+        self.state_table = StateTable()
+        self.hits = 0
+        self.misses = 0
+
+    def store(
+        self,
+        flow: FlowSpec,
+        action: str,
+        cookie: str,
+        now: float,
+        *,
+        keep_state: bool = False,
+        rule_text: str = "",
+    ) -> CachedDecision:
+        """Cache a decision (and create state for ``keep state`` passes)."""
+        decision = CachedDecision(
+            flow=flow,
+            action=action,
+            cookie=cookie,
+            decided_at=now,
+            keep_state=keep_state,
+            rule_text=rule_text,
+        )
+        self._decisions[flow] = decision
+        if keep_state and action == "pass":
+            self.state_table.add(flow, now, rule_origin=rule_text, cookie=cookie)
+        return decision
+
+    def lookup(self, flow: FlowSpec, now: float) -> Optional[CachedDecision]:
+        """Return the cached decision covering ``flow``, if still valid.
+
+        A ``keep state`` pass decision also covers the reverse direction
+        of the flow.
+        """
+        decision = self._decisions.get(flow)
+        if decision is not None and (not self.ttl or now - decision.decided_at <= self.ttl):
+            self.hits += 1
+            return decision
+        # Reverse direction of an established (keep state) flow.
+        reverse = self._decisions.get(flow.reversed())
+        if (
+            reverse is not None
+            and reverse.keep_state
+            and reverse.is_pass
+            and (not self.ttl or now - reverse.decided_at <= self.ttl)
+        ):
+            self.hits += 1
+            return reverse
+        self.misses += 1
+        return None
+
+    def invalidate(self, flow: FlowSpec) -> bool:
+        """Drop the cached decision for ``flow`` (exact direction)."""
+        return self._decisions.pop(flow, None) is not None
+
+    def invalidate_cookie(self, cookie: str) -> int:
+        """Drop every cached decision (and state) carrying ``cookie``; returns the count."""
+        victims = [flow for flow, decision in self._decisions.items() if decision.cookie == cookie]
+        for flow in victims:
+            del self._decisions[flow]
+        self.state_table.remove_by_cookie(cookie)
+        return len(victims)
+
+    def clear(self) -> None:
+        """Drop everything."""
+        self._decisions.clear()
+        self.state_table = StateTable()
+
+    def hit_rate(self) -> float:
+        """Return hits / (hits + misses)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._decisions)
+
+    def __contains__(self, flow: FlowSpec) -> bool:
+        return flow in self._decisions

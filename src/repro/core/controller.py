@@ -1,0 +1,422 @@
+"""The ident++ controller (§3.4, Figure 1).
+
+"When an OpenFlow switch cannot find a match for a packet in its flow
+table, it sends the packet to the ident++ controller.  When the
+controller receives the packet, it queries the source and destination
+ident++ daemons for additional information.  The information is then
+stored in the ``@src`` and the ``@dst`` dictionaries.  The controller
+then executes the rules that are stored in its configuration files."
+
+The controller here implements the full Figure 1 sequence on the
+simulated OpenFlow network:
+
+1. a client's first packet misses the switch flow table and is punted,
+2. the controller queries both ends of the flow with ident++ (charging
+   the network round-trip and daemon processing time to flow-setup
+   latency, and letting on-path peer controllers intercept or augment),
+3. the PF+=2 policy is evaluated over the flow plus the ``@src``/``@dst``
+   dictionaries,
+4. on *pass*, flow entries are installed along the whole path (and the
+   reverse path for ``keep state`` rules) and the buffered packet is
+   released; on *block*, a drop entry caches the negative decision,
+5. every decision is recorded in the audit log, attributed to delegation
+   grants when ``allowed()``/``verify()`` made the difference, and can be
+   revoked later.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.audit import AuditLog, DecisionRecord
+from repro.core.cache import DecisionCache
+from repro.core.interception import InterceptionPolicy
+from repro.core.policy_engine import PolicyDecision, PolicyEngine
+from repro.identpp.client import QueryClient, QueryInterceptor, QueryOutcome
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.wire import DEFAULT_QUERY_KEYS, IDENT_PP_PORT, IdentQuery, IdentResponse
+from repro.netsim.nodes import Node
+from repro.netsim.statistics import Histogram
+from repro.netsim.topology import Topology
+from repro.openflow.actions import DropAction, FloodAction, OutputAction
+from repro.openflow.controller_base import Controller
+from repro.openflow.match import Match
+from repro.openflow.messages import PacketIn
+from repro.openflow.switch import OpenFlowSwitch
+
+#: Time charged for one PF+=2 policy evaluation at the controller.
+DEFAULT_POLICY_EVAL_DELAY = 100e-6
+
+
+@dataclass
+class ControllerConfig:
+    """Tunables of an :class:`IdentPPController`."""
+
+    query_keys: tuple[str, ...] = tuple(DEFAULT_QUERY_KEYS)
+    install_along_path: bool = True
+    idle_timeout: float = 60.0
+    hard_timeout: float = 0.0
+    decision_ttl: float = 60.0
+    policy_eval_delay: float = DEFAULT_POLICY_EVAL_DELAY
+    flow_priority: int = 100
+    drop_priority: int = 90
+    query_both_ends: bool = True
+
+
+class IdentPPController(Controller):
+    """An OpenFlow controller that delegates security decisions through ident++."""
+
+    def __init__(
+        self,
+        name: str,
+        topology: Topology,
+        policy: PolicyEngine,
+        *,
+        config: Optional[ControllerConfig] = None,
+    ) -> None:
+        super().__init__(name)
+        self.topology = topology
+        self.policy = policy
+        self.config = config if config is not None else ControllerConfig()
+        self.query_client = QueryClient(topology)
+        self.cache = DecisionCache(ttl=self.config.decision_ttl)
+        self.audit = AuditLog(name=f"{name}.audit")
+        self.interception = InterceptionPolicy(name=f"{name}.interception")
+        self.peer_interceptors: list[QueryInterceptor] = []
+        self.flow_setup_latency = Histogram(f"{name}.flow_setup_latency")
+        self.query_latency = Histogram(f"{name}.query_latency")
+        self._pending: dict[FlowSpec, list[PacketIn]] = {}
+        self._cookie_counter = itertools.count(1)
+        self.attach(topology.sim)
+
+    # ------------------------------------------------------------------
+    # Configuration conveniences
+    # ------------------------------------------------------------------
+
+    @property
+    def delegations(self):
+        """Return the delegation manager behind the policy engine."""
+        return self.policy.delegations
+
+    def add_peer_interceptor(self, interceptor: QueryInterceptor) -> None:
+        """Register another controller on the query path (its interception policy applies)."""
+        self.peer_interceptors.append(interceptor)
+
+    # ------------------------------------------------------------------
+    # QueryInterceptor protocol (so *other* controllers can route queries
+    # through this one)
+    # ------------------------------------------------------------------
+
+    def intercept_query(self, query: IdentQuery) -> Optional[IdentResponse]:
+        """Answer a passing query from this controller's interception policy."""
+        return self.interception.intercept_query(query)
+
+    def augment_response(self, query: IdentQuery, response: IdentResponse) -> None:
+        """Augment a passing response from this controller's interception policy."""
+        self.interception.augment_response(query, response)
+
+    # ------------------------------------------------------------------
+    # Packet-in handling (Figure 1, steps 2-5)
+    # ------------------------------------------------------------------
+
+    def on_packet_in(self, message: PacketIn) -> None:
+        packet = message.packet
+        if self.compromised:
+            # §5.1: a compromised controller disables all protection.
+            self._forward_unconditionally(message)
+            return
+        if not packet.is_ip():
+            # Non-IP traffic (ARP and friends do not exist in this model);
+            # release it by flooding so the datapath stays usable.
+            self.send_packet_out(
+                message.switch, actions=[FloodAction()], buffer_id=message.buffer_id,
+                in_port=message.in_port,
+            )
+            return
+        if IDENT_PP_PORT in (packet.tp_src, packet.tp_dst):
+            # ident++ queries/responses travelling over the datapath are
+            # control traffic; forward them toward their destination.
+            self._forward_control_traffic(message)
+            return
+        flow = FlowSpec.from_packet(packet)
+        arrival = self.now
+
+        cached = self.cache.lookup(flow, arrival)
+        if cached is not None:
+            decision = None
+            self._apply_verdict_to_datapath(
+                flow, [message], cached.action == "pass", cached.cookie, keep_state=cached.keep_state
+            )
+            self.audit.record(
+                DecisionRecord(
+                    time=arrival,
+                    flow=flow,
+                    action=cached.action,
+                    rule_text=cached.rule_text,
+                    rule_origin="cache",
+                    cookie=cached.cookie,
+                    cached=True,
+                )
+            )
+            return
+
+        if flow in self._pending:
+            # Another switch punted the same flow while queries are in
+            # flight; remember the buffered packet and answer it when the
+            # decision lands.
+            self._pending[flow].append(message)
+            return
+        self._pending[flow] = [message]
+
+        outcomes = self._query_endpoints(flow, message.switch)
+        query_cost = QueryClient.combined_latency(outcomes)
+        self.query_latency.observe(query_cost)
+        total_delay = query_cost + self.config.policy_eval_delay
+        if self.sim is not None:
+            self.sim.schedule(
+                total_delay,
+                self._complete_decision,
+                flow,
+                outcomes,
+                arrival,
+                label=f"{self.name}:decide",
+            )
+        else:
+            self._complete_decision(flow, outcomes, arrival)
+
+    def _query_endpoints(self, flow: FlowSpec, switch: OpenFlowSwitch) -> list[QueryOutcome]:
+        """Issue the ident++ queries for a flow (both ends, or source only)."""
+        interceptors = tuple(self.peer_interceptors)
+        if self.config.query_both_ends:
+            src_outcome, dst_outcome = self.query_client.query_both_ends(
+                flow, from_node=switch, keys=self.config.query_keys, interceptors=interceptors
+            )
+            return [src_outcome, dst_outcome]
+        src_outcome = self.query_client.query(
+            flow, "src", from_node=switch, keys=self.config.query_keys, interceptors=interceptors
+        )
+        return [src_outcome]
+
+    def _complete_decision(
+        self,
+        flow: FlowSpec,
+        outcomes: Sequence[QueryOutcome],
+        arrival: float,
+    ) -> None:
+        """Evaluate the policy once the query responses are in, then program the datapath."""
+        src_doc = outcomes[0].document if outcomes else None
+        dst_doc = outcomes[1].document if len(outcomes) > 1 else None
+        decision = self.policy.decide(flow, src_doc, dst_doc)
+        cookie = f"{self.name}:decision-{next(self._cookie_counter)}"
+        self.cache.store(
+            flow,
+            decision.action,
+            cookie,
+            self.now,
+            keep_state=decision.keep_state,
+            rule_text=decision.rule_text,
+        )
+        pending = self._pending.pop(flow, [])
+        self._apply_verdict_to_datapath(
+            flow, pending, decision.is_pass, cookie, keep_state=decision.keep_state
+        )
+        query_cost = QueryClient.combined_latency(outcomes)
+        self.flow_setup_latency.observe(self.now - arrival)
+        self._audit_decision(decision, cookie, query_cost)
+
+    def _audit_decision(self, decision: PolicyDecision, cookie: str, query_cost: float) -> None:
+        for principal in decision.principals:
+            self.delegations.record_use(principal, cookie)
+        self.audit.record(
+            DecisionRecord(
+                time=self.now,
+                flow=decision.flow,
+                action=decision.action,
+                rule_text=decision.rule_text,
+                rule_origin=decision.rule_origin,
+                cookie=cookie,
+                delegated=decision.delegated,
+                delegation_functions=decision.delegation_functions,
+                src_keys=decision.src_keys,
+                dst_keys=decision.dst_keys,
+                query_latency=query_cost,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Datapath programming
+    # ------------------------------------------------------------------
+
+    def _apply_verdict_to_datapath(
+        self,
+        flow: FlowSpec,
+        pending: Sequence[PacketIn],
+        allowed: bool,
+        cookie: str,
+        *,
+        keep_state: bool,
+    ) -> None:
+        if allowed:
+            installed = self._install_path(flow, cookie, keep_state=keep_state)
+            for message in pending:
+                self._release_packet(message, flow, installed)
+        else:
+            for message in pending:
+                self.install_flow(
+                    message.switch,
+                    Match.from_five_tuple(
+                        flow.src_ip, flow.dst_ip, flow.proto, flow.src_port, flow.dst_port
+                    ),
+                    [DropAction()],
+                    priority=self.config.drop_priority,
+                    idle_timeout=self.config.idle_timeout,
+                    cookie=cookie,
+                    buffer_id=message.buffer_id,
+                )
+
+    def _install_path(self, flow: FlowSpec, cookie: str, *, keep_state: bool) -> dict[str, int]:
+        """Install forward (and, for ``keep state``, reverse) entries along the path.
+
+        Returns a map of switch name → egress port for the forward
+        direction, used to release buffered packets.
+        """
+        egress_by_switch: dict[str, int] = {}
+        path = self._path_for_flow(flow)
+        if path is None or not self.config.install_along_path:
+            return egress_by_switch
+        match = Match.from_five_tuple(
+            flow.src_ip, flow.dst_ip, flow.proto, flow.src_port, flow.dst_port
+        )
+        reverse = flow.reversed()
+        reverse_match = Match.from_five_tuple(
+            reverse.src_ip, reverse.dst_ip, reverse.proto, reverse.src_port, reverse.dst_port
+        )
+        for index, node in enumerate(path):
+            if not isinstance(node, OpenFlowSwitch) or node.name not in self.channels:
+                continue
+            next_node = path[index + 1] if index + 1 < len(path) else None
+            previous_node = path[index - 1] if index > 0 else None
+            if next_node is not None:
+                out_port = self.topology.egress_port(node, next_node).number
+                egress_by_switch[node.name] = out_port
+                self.install_flow(
+                    node,
+                    match,
+                    [OutputAction(out_port)],
+                    priority=self.config.flow_priority,
+                    idle_timeout=self.config.idle_timeout,
+                    hard_timeout=self.config.hard_timeout,
+                    cookie=cookie,
+                )
+            if keep_state and previous_node is not None:
+                back_port = self.topology.egress_port(node, previous_node).number
+                self.install_flow(
+                    node,
+                    reverse_match,
+                    [OutputAction(back_port)],
+                    priority=self.config.flow_priority,
+                    idle_timeout=self.config.idle_timeout,
+                    hard_timeout=self.config.hard_timeout,
+                    cookie=cookie,
+                )
+        return egress_by_switch
+
+    def _path_for_flow(self, flow: FlowSpec) -> Optional[list[Node]]:
+        source = self.topology.node_for_ip(flow.src_ip)
+        destination = self.topology.node_for_ip(flow.dst_ip)
+        if source is None or destination is None:
+            return None
+        try:
+            return self.topology.shortest_path(source, destination)
+        except Exception:
+            return None
+
+    def _release_packet(
+        self, message: PacketIn, flow: FlowSpec, egress_by_switch: dict[str, int]
+    ) -> None:
+        out_port = egress_by_switch.get(message.switch.name)
+        if out_port is not None:
+            actions = [OutputAction(out_port)]
+        else:
+            actions = [FloodAction()]
+        self.send_packet_out(
+            message.switch, actions=actions, buffer_id=message.buffer_id, in_port=message.in_port
+        )
+
+    def _forward_control_traffic(self, message: PacketIn) -> None:
+        """Forward ident++ protocol packets toward their destination without policy."""
+        packet = message.packet
+        destination = self.topology.node_for_ip(packet.ip_dst)
+        actions = [FloodAction()]
+        if destination is not None:
+            try:
+                path = self.topology.shortest_path(message.switch, destination)
+                if len(path) > 1:
+                    out_port = self.topology.egress_port(message.switch, path[1]).number
+                    actions = [OutputAction(out_port)]
+            except Exception:
+                actions = [FloodAction()]
+        self.send_packet_out(
+            message.switch, actions=actions, buffer_id=message.buffer_id, in_port=message.in_port
+        )
+
+    def _forward_unconditionally(self, message: PacketIn) -> None:
+        """Compromised-controller behaviour: everything is forwarded, nothing audited."""
+        self.send_packet_out(
+            message.switch, actions=[FloodAction()], buffer_id=message.buffer_id,
+            in_port=message.in_port,
+        )
+
+    # ------------------------------------------------------------------
+    # Direct decision API (benchmarks, tests, offline what-if queries)
+    # ------------------------------------------------------------------
+
+    def decide_flow(self, flow: FlowSpec, src_doc=None, dst_doc=None) -> PolicyDecision:
+        """Evaluate the policy for a flow without touching the datapath."""
+        return self.policy.decide(flow, src_doc, dst_doc)
+
+    # ------------------------------------------------------------------
+    # Revocation (the administrator "overrides, audits, and revokes")
+    # ------------------------------------------------------------------
+
+    def revoke_decision(self, cookie: str) -> int:
+        """Tear down the datapath state created by one decision.
+
+        Removes the matching flow entries from every managed switch and
+        invalidates the controller-side cache.  Returns the number of
+        flow entries removed.
+        """
+        removed = 0
+        for switch in self.switches():
+            removed += switch.flow_table.remove_by_cookie(cookie)
+        self.cache.invalidate_cookie(cookie)
+        return removed
+
+    def revoke_delegation(self, principal: str) -> int:
+        """Revoke a delegation grant and undo every decision that relied on it."""
+        grant = self.delegations.revoke(principal, now=self.now)
+        removed = 0
+        for cookie in grant.decisions:
+            removed += self.revoke_decision(cookie)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> dict[str, object]:
+        """Return the controller's headline numbers (used by benchmarks)."""
+        return {
+            "packet_ins": int(self.packet_ins.value),
+            "flow_mods": int(self.flow_mods.value),
+            "packet_outs": int(self.packet_outs.value),
+            "decisions": self.audit.summary(),
+            "flow_setup_latency": self.flow_setup_latency.summary(),
+            "query_latency": self.query_latency.summary(),
+            "cache": {
+                "entries": len(self.cache),
+                "hit_rate": self.cache.hit_rate(),
+            },
+        }

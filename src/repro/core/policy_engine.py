@@ -1,0 +1,205 @@
+"""Gluing ident++ responses to PF+=2 evaluation.
+
+The policy engine owns the ``.control`` files (loaded through a
+:class:`~repro.pf.ruleset.RulesetLoader`, i.e. concatenated in
+alphabetical order), the PF+=2 evaluator built from them, the function
+registry and the delegation manager whose public keys back
+``@pubkeys[...]`` lookups.  Given a flow and the two ident++ response
+documents it produces a :class:`PolicyDecision` that also says *whether*
+the decision honoured delegated rules and on behalf of which principals
+— which feeds the audit log and the delegation manager's per-grant
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.delegation import DelegationManager
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.keyvalue import ResponseDocument
+from repro.pf.ast_nodes import ACTION_PASS, DictAccess, Rule
+from repro.pf.evaluator import PolicyEvaluator, Verdict
+from repro.pf.functions import FunctionRegistry, default_registry
+from repro.pf.ruleset import RulesetLoader
+
+#: Function names whose presence in the deciding rule marks the decision
+#: as relying on delegated (externally supplied) rules.
+DELEGATION_FUNCTIONS = ("allowed", "verify")
+
+
+@dataclass
+class PolicyDecision:
+    """The outcome of running the policy over one flow."""
+
+    flow: Optional[FlowSpec]
+    verdict: Verdict
+    delegated: bool = False
+    delegation_functions: tuple[str, ...] = ()
+    principals: tuple[str, ...] = ()
+    src_keys: dict[str, str] = field(default_factory=dict)
+    dst_keys: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def action(self) -> str:
+        """Return ``"pass"`` or ``"block"``."""
+        return self.verdict.action
+
+    @property
+    def is_pass(self) -> bool:
+        """Return ``True`` when the flow is allowed."""
+        return self.verdict.is_pass
+
+    @property
+    def keep_state(self) -> bool:
+        """Return ``True`` when the deciding rule asked for ``keep state``."""
+        return self.verdict.keep_state
+
+    @property
+    def rule_text(self) -> str:
+        """Return the deciding rule as text ('' when the PF default applied)."""
+        return str(self.verdict.rule) if self.verdict.rule is not None else ""
+
+    @property
+    def rule_origin(self) -> str:
+        """Return the configuration file the deciding rule came from."""
+        return self.verdict.rule.origin if self.verdict.rule is not None else ""
+
+
+class PolicyEngine:
+    """The controller's policy: ``.control`` files + PF+=2 evaluator + delegation keys."""
+
+    def __init__(
+        self,
+        *,
+        registry: Optional[FunctionRegistry] = None,
+        default_action: str = ACTION_PASS,
+        delegations: Optional[DelegationManager] = None,
+        name: str = "policy-engine",
+    ) -> None:
+        self.name = name
+        self.loader = RulesetLoader()
+        self.registry = registry if registry is not None else default_registry()
+        self.default_action = default_action
+        self.delegations = delegations if delegations is not None else DelegationManager()
+        self._evaluator: Optional[PolicyEvaluator] = None
+        self.decisions_made = 0
+
+    # ------------------------------------------------------------------
+    # Configuration management
+    # ------------------------------------------------------------------
+
+    def add_control_file(self, name: str, text: str, *, provenance: str = "administrator") -> None:
+        """Register (or replace) a ``.control`` file and rebuild the policy."""
+        self.loader.add_file(name, text, provenance=provenance)
+        self._evaluator = None
+
+    def add_control_files(self, files: dict[str, str], *, provenance: str = "administrator") -> None:
+        """Register several ``.control`` files at once."""
+        for name, text in files.items():
+            self.loader.add_file(name, text, provenance=provenance)
+        self._evaluator = None
+
+    def remove_control_file(self, name: str) -> bool:
+        """Unregister a ``.control`` file (e.g. dropping a vendor's rules)."""
+        removed = self.loader.remove_file(name)
+        if removed:
+            self._evaluator = None
+        return removed
+
+    def load_directory(self, path: str) -> int:
+        """Load ``*.control`` files from a directory on disk."""
+        count = self.loader.load_directory(path)
+        self._evaluator = None
+        return count
+
+    def rebuild(self) -> PolicyEvaluator:
+        """(Re)build the evaluator from the registered files."""
+        ruleset = self.loader.build()
+        self._evaluator = PolicyEvaluator(
+            ruleset,
+            registry=self.registry,
+            default_action=self.default_action,
+            name=self.name,
+        )
+        return self._evaluator
+
+    @property
+    def evaluator(self) -> PolicyEvaluator:
+        """Return the current evaluator, building it if needed."""
+        if self._evaluator is None:
+            self.rebuild()
+        return self._evaluator
+
+    def rule_count(self) -> int:
+        """Return the number of rules in the concatenated policy."""
+        return len(self.evaluator.ruleset.rules())
+
+    # ------------------------------------------------------------------
+    # Decisions
+    # ------------------------------------------------------------------
+
+    def decide(
+        self,
+        flow: Optional[FlowSpec],
+        src_doc: Optional[ResponseDocument] = None,
+        dst_doc: Optional[ResponseDocument] = None,
+        *,
+        extra: Optional[dict[str, object]] = None,
+    ) -> PolicyDecision:
+        """Evaluate the policy for one flow."""
+        evaluator = self.evaluator
+        # Delegation grants back @pubkeys lookups; configuration-defined
+        # dict entries win over grants of the same name so an
+        # administrator can always pin a key explicitly.
+        pubkeys = dict(self.delegations.pubkeys_dict())
+        pubkeys.update(evaluator.ruleset.dicts().get("pubkeys").entries if "pubkeys" in evaluator.ruleset.dicts() else {})
+        evaluator.dicts["pubkeys"] = pubkeys
+
+        src_doc = src_doc if src_doc is not None else ResponseDocument()
+        dst_doc = dst_doc if dst_doc is not None else ResponseDocument()
+        verdict = evaluator.evaluate(flow, src_doc, dst_doc, extra=extra)
+        delegated_functions = _delegation_functions_used(verdict.rule)
+        principals = _principals_used(verdict.rule)
+        self.decisions_made += 1
+        return PolicyDecision(
+            flow=flow,
+            verdict=verdict,
+            delegated=bool(delegated_functions),
+            delegation_functions=delegated_functions,
+            principals=principals,
+            src_keys=src_doc.as_flat_dict(),
+            dst_keys=dst_doc.as_flat_dict(),
+        )
+
+    def stats(self) -> dict[str, float]:
+        """Return counters for reports."""
+        evaluator_stats = self.evaluator.stats()
+        evaluator_stats["decisions_made"] = float(self.decisions_made)
+        evaluator_stats["control_files"] = float(len(self.loader))
+        return evaluator_stats
+
+
+def _delegation_functions_used(rule: Optional[Rule]) -> tuple[str, ...]:
+    """Return which delegation functions appear in the deciding rule's conditions."""
+    if rule is None:
+        return ()
+    used = []
+    for condition in rule.conditions:
+        if condition.name.lower() in DELEGATION_FUNCTIONS and condition.name.lower() not in used:
+            used.append(condition.name.lower())
+    return tuple(used)
+
+
+def _principals_used(rule: Optional[Rule]) -> tuple[str, ...]:
+    """Return the ``@pubkeys[...]`` principals referenced by the deciding rule."""
+    if rule is None:
+        return ()
+    principals: list[str] = []
+    for condition in rule.conditions:
+        for argument in condition.args:
+            if isinstance(argument, DictAccess) and argument.dict_name == "pubkeys":
+                if argument.key not in principals:
+                    principals.append(argument.key)
+    return tuple(principals)

@@ -1,0 +1,40 @@
+"""Hashing helpers.
+
+The ident++ daemon reports the "hash ... of the executable" (§2) and
+signatures cover the executable hash (Figures 3–7).  Simulated
+executables are just named byte strings, so the helpers here produce
+stable hex digests for them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+def sha256_hex(data: bytes | str) -> str:
+    """Return the SHA-256 hex digest of ``data`` (strings are UTF-8 encoded)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_int(data: bytes | str) -> int:
+    """Return the SHA-256 digest of ``data`` as an integer (used for RSA signing)."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return int.from_bytes(hashlib.sha256(data).digest(), "big")
+
+
+def executable_hash(path: str, contents: bytes | str | None = None, version: str = "") -> str:
+    """Return a stable hash for a simulated executable image.
+
+    Real deployments hash the binary on disk; the simulation derives the
+    hash from the executable path, its synthetic contents and version so
+    that two hosts running "the same binary" report the same hash while a
+    trojaned or upgraded binary reports a different one.
+    """
+    if contents is None:
+        contents = b""
+    if isinstance(contents, str):
+        contents = contents.encode("utf-8")
+    return sha256_hex(path.encode("utf-8") + b"\x00" + contents + b"\x00" + version.encode("utf-8"))

@@ -1,0 +1,234 @@
+"""Socket table with lsof-style flow lookups.
+
+The ident++ daemon resolves a queried 5-tuple to a process "using
+techniques similar to lsof" (§3.5).  :class:`SocketTable` is that
+machinery: applications bind listening sockets or open connected
+sockets, and :meth:`SocketTable.lookup_flow` answers "which process owns
+this flow?" for both the sending side (connected socket matches the
+4-tuple) and the receiving side (connected socket *or* a listening
+socket on the destination port — "a destination that has yet to accept a
+connection").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.exceptions import SocketError
+from repro.netsim.addresses import IPv4Address
+from repro.netsim.packet import IP_PROTO_TCP, proto_number
+from repro.hosts.processes import Process
+
+#: First ephemeral port handed out to outgoing connections.
+EPHEMERAL_PORT_BASE = 32768
+#: Ports below this require superuser privileges to bind (§5.4).
+PRIVILEGED_PORT_LIMIT = 1024
+
+
+@dataclass
+class Socket:
+    """One socket owned by a process.
+
+    ``remote_ip``/``remote_port`` are ``None``/0 for listening sockets.
+    """
+
+    proto: int
+    local_ip: IPv4Address
+    local_port: int
+    process: Process
+    remote_ip: Optional[IPv4Address] = None
+    remote_port: int = 0
+
+    @property
+    def is_listening(self) -> bool:
+        """Return ``True`` for listening (unconnected) sockets."""
+        return self.remote_ip is None
+
+    @property
+    def is_privileged(self) -> bool:
+        """Return ``True`` if the local port is in the privileged range (< 1024)."""
+        return 0 < self.local_port < PRIVILEGED_PORT_LIMIT
+
+    def matches_local_flow(
+        self,
+        ip_src: IPv4Address,
+        ip_dst: IPv4Address,
+        proto: int,
+        tp_src: int,
+        tp_dst: int,
+    ) -> bool:
+        """Return ``True`` if this socket is the *source* endpoint of the flow."""
+        if self.proto != proto:
+            return False
+        if self.is_listening:
+            # A server replying on an accepted connection: local port is
+            # the flow's source port.
+            return self.local_ip == ip_src and self.local_port == tp_src
+        return (
+            self.local_ip == ip_src
+            and self.local_port == tp_src
+            and self.remote_ip == ip_dst
+            and self.remote_port == tp_dst
+        )
+
+    def matches_remote_flow(
+        self,
+        ip_src: IPv4Address,
+        ip_dst: IPv4Address,
+        proto: int,
+        tp_src: int,
+        tp_dst: int,
+    ) -> bool:
+        """Return ``True`` if this socket is the *destination* endpoint of the flow."""
+        if self.proto != proto:
+            return False
+        if self.is_listening:
+            return self.local_ip == ip_dst and self.local_port == tp_dst
+        return (
+            self.local_ip == ip_dst
+            and self.local_port == tp_dst
+            and self.remote_ip == ip_src
+            and self.remote_port == tp_src
+        )
+
+    def __str__(self) -> str:
+        remote = f"{self.remote_ip}:{self.remote_port}" if not self.is_listening else "*:*"
+        return f"{self.local_ip}:{self.local_port} <-> {remote} (pid {self.process.pid})"
+
+
+class SocketTable:
+    """All sockets on one end-host."""
+
+    def __init__(self, host_ip: IPv4Address) -> None:
+        self.host_ip = IPv4Address(host_ip)
+        self._sockets: list[Socket] = []
+        self._next_ephemeral = EPHEMERAL_PORT_BASE
+
+    # ------------------------------------------------------------------
+    # Socket creation
+    # ------------------------------------------------------------------
+
+    def listen(self, process: Process, port: int, proto: int | str = IP_PROTO_TCP) -> Socket:
+        """Bind a listening socket on ``port``.
+
+        Enforces the privileged-port rule from §5.4: only the superuser
+        may bind ports below 1024.
+        """
+        proto = proto_number(proto)
+        if not 0 < port <= 0xFFFF:
+            raise SocketError(f"invalid port: {port}")
+        if port < PRIVILEGED_PORT_LIMIT and not process.user.can_bind_privileged_ports:
+            raise SocketError(
+                f"user {process.user.name} cannot bind privileged port {port} (requires superuser)"
+            )
+        if self.find_listener(port, proto) is not None:
+            raise SocketError(f"port {port}/{proto} already in use")
+        socket = Socket(proto=proto, local_ip=self.host_ip, local_port=port, process=process)
+        self._sockets.append(socket)
+        return socket
+
+    def connect(
+        self,
+        process: Process,
+        remote_ip: IPv4Address | str,
+        remote_port: int,
+        proto: int | str = IP_PROTO_TCP,
+        local_port: int | None = None,
+    ) -> Socket:
+        """Open a connected socket to ``remote_ip:remote_port``.
+
+        An ephemeral local port is allocated unless ``local_port`` is
+        given explicitly.
+        """
+        proto = proto_number(proto)
+        if local_port is None:
+            local_port = self._allocate_ephemeral_port()
+        socket = Socket(
+            proto=proto,
+            local_ip=self.host_ip,
+            local_port=local_port,
+            process=process,
+            remote_ip=IPv4Address(remote_ip),
+            remote_port=remote_port,
+        )
+        self._sockets.append(socket)
+        return socket
+
+    def close(self, socket: Socket) -> None:
+        """Remove a socket from the table."""
+        try:
+            self._sockets.remove(socket)
+        except ValueError as exc:
+            raise SocketError(f"socket not in table: {socket}") from exc
+
+    def _allocate_ephemeral_port(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > 0xFFFF:
+            self._next_ephemeral = EPHEMERAL_PORT_BASE
+        return port
+
+    # ------------------------------------------------------------------
+    # Lookups (the lsof part)
+    # ------------------------------------------------------------------
+
+    def find_listener(self, port: int, proto: int | str = IP_PROTO_TCP) -> Optional[Socket]:
+        """Return the listening socket on ``port``/``proto``, if any."""
+        proto = proto_number(proto)
+        for socket in self._sockets:
+            if socket.is_listening and socket.local_port == port and socket.proto == proto:
+                return socket
+        return None
+
+    def lookup_flow(
+        self,
+        ip_src: IPv4Address | str,
+        ip_dst: IPv4Address | str,
+        proto: int | str,
+        tp_src: int,
+        tp_dst: int,
+        *,
+        as_destination: bool = False,
+    ) -> Optional[Socket]:
+        """Return the socket owning the given 5-tuple on this host.
+
+        ``as_destination`` selects which endpoint of the flow this host
+        plays.  Connected sockets are preferred over listening sockets so
+        that an accepted connection resolves to the worker process rather
+        than the listener.
+        """
+        ip_src = IPv4Address(ip_src)
+        ip_dst = IPv4Address(ip_dst)
+        proto = proto_number(proto)
+        matcher = Socket.matches_remote_flow if as_destination else Socket.matches_local_flow
+        best: Optional[Socket] = None
+        for socket in self._sockets:
+            if matcher(socket, ip_src, ip_dst, proto, tp_src, tp_dst):
+                if not socket.is_listening:
+                    return socket
+                best = best or socket
+        return best
+
+    def process_for_flow(
+        self,
+        ip_src: IPv4Address | str,
+        ip_dst: IPv4Address | str,
+        proto: int | str,
+        tp_src: int,
+        tp_dst: int,
+        *,
+        as_destination: bool = False,
+    ) -> Optional[Process]:
+        """Return the process owning the given flow, or ``None`` (lsof equivalent)."""
+        socket = self.lookup_flow(
+            ip_src, ip_dst, proto, tp_src, tp_dst, as_destination=as_destination
+        )
+        return socket.process if socket is not None else None
+
+    def sockets(self) -> Iterator[Socket]:
+        """Iterate over all sockets."""
+        return iter(list(self._sockets))
+
+    def __len__(self) -> int:
+        return len(self._sockets)

@@ -1,0 +1,53 @@
+"""The ident++ protocol.
+
+ident++ (§2, §3.2, §3.5 of the paper) is a richer descendant of the RFC
+1413 Identification Protocol: firewalls/controllers query the two ends
+of a flow on TCP port 783 and receive a list of key/value pairs grouped
+into sections, which they feed into the PF+=2 policy.
+
+This package contains the protocol itself, independent of any
+controller:
+
+* :mod:`repro.identpp.flowspec` — the 5-tuple flow definition,
+* :mod:`repro.identpp.keyvalue` — key/value pairs, sections and the
+  response document with "latest value" and ``*@`` concatenation
+  semantics,
+* :mod:`repro.identpp.wire` — the query/response wire format of §3.2,
+* :mod:`repro.identpp.daemon_config` — the ``@app { ... }`` end-host
+  configuration files of Figures 3, 4 and 6,
+* :mod:`repro.identpp.daemon` — the end-host daemon, including the
+  run-time key/value channel applications use,
+* :mod:`repro.identpp.client` — the query client controllers use, with
+  hooks for on-path interception.
+"""
+
+from repro.identpp.client import QueryClient, QueryOutcome
+from repro.identpp.daemon import IdentPPDaemon, RuntimeKeyRegistry
+from repro.identpp.daemon_config import AppConfig, DaemonConfig, parse_daemon_config
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.keyvalue import KeyValueSection, ResponseDocument
+from repro.identpp.wire import (
+    IDENT_PP_PORT,
+    IdentQuery,
+    IdentResponse,
+    parse_query_payload,
+    parse_response_payload,
+)
+
+__all__ = [
+    "QueryClient",
+    "QueryOutcome",
+    "IdentPPDaemon",
+    "RuntimeKeyRegistry",
+    "AppConfig",
+    "DaemonConfig",
+    "parse_daemon_config",
+    "FlowSpec",
+    "KeyValueSection",
+    "ResponseDocument",
+    "IDENT_PP_PORT",
+    "IdentQuery",
+    "IdentResponse",
+    "parse_query_payload",
+    "parse_response_payload",
+]

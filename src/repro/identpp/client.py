@@ -1,0 +1,208 @@
+"""The query side of ident++: what a controller uses to ask end-hosts.
+
+When the ident++ controller needs a decision about a flow it "requests
+additional information from both the source and the destination
+end-hosts" (§2).  :class:`QueryClient` performs one such query:
+
+* it resolves the target IP address to the end-host owning it,
+* walks the list of on-path *interceptors* (other ident++ controllers)
+  in order, giving each the chance to answer the query itself — in
+  which case the real end-host is never asked and "intercepted queries
+  are not allowed to cause new queries" (§3.4),
+* otherwise obtains the response from the end-host's daemon,
+* then walks the interceptors in reverse order letting each *augment*
+  the response with an extra section, and
+* accounts the network round-trip latency from the querying switch to
+  the target host so flow-setup latency measurements are meaningful.
+
+Hosts that do not run a daemon (legacy hosts, §4 "Incremental Benefit")
+produce a timeout outcome unless an interceptor answered on their
+behalf.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence
+
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.keyvalue import ResponseDocument
+from repro.identpp.wire import DEFAULT_QUERY_KEYS, IdentQuery, IdentResponse, ROLE_DESTINATION, ROLE_SOURCE
+from repro.netsim.nodes import Node
+from repro.netsim.statistics import Counter
+from repro.netsim.topology import Topology
+
+#: What a query costs when the target never answers (seconds).
+DEFAULT_QUERY_TIMEOUT = 0.05
+
+
+class QueryInterceptor(Protocol):
+    """The interface on-path controllers implement to intercept ident++ traffic."""
+
+    def intercept_query(self, query: IdentQuery) -> Optional[IdentResponse]:
+        """Answer the query on behalf of the end-host, or return ``None`` to pass it on."""
+
+    def augment_response(self, query: IdentQuery, response: IdentResponse) -> None:
+        """Append additional sections to a response passing through."""
+
+
+@dataclass
+class QueryOutcome:
+    """The result of one ident++ query."""
+
+    query: IdentQuery
+    response: Optional[IdentResponse]
+    latency: float
+    answered_by: str = ""
+    intercepted: bool = False
+    timed_out: bool = False
+    augmented_by: list[str] = field(default_factory=list)
+
+    @property
+    def document(self) -> ResponseDocument:
+        """Return the response document (empty when the query timed out)."""
+        if self.response is None:
+            return ResponseDocument()
+        return self.response.document
+
+    def succeeded(self) -> bool:
+        """Return ``True`` when some party produced a response."""
+        return self.response is not None
+
+
+class QueryClient:
+    """Issues ident++ queries on behalf of a controller."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        *,
+        default_keys: Sequence[str] = DEFAULT_QUERY_KEYS,
+        timeout: float = DEFAULT_QUERY_TIMEOUT,
+    ) -> None:
+        self.topology = topology
+        self.default_keys = tuple(default_keys)
+        self.timeout = timeout
+        self.queries_sent = Counter("query_client.queries_sent")
+        self.queries_intercepted = Counter("query_client.queries_intercepted")
+        self.queries_timed_out = Counter("query_client.queries_timed_out")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self,
+        flow: FlowSpec,
+        role: str,
+        *,
+        from_node: Optional[Node] = None,
+        keys: Optional[Sequence[str]] = None,
+        interceptors: Sequence[QueryInterceptor] = (),
+    ) -> QueryOutcome:
+        """Query one end of ``flow``.
+
+        Args:
+            flow: The flow being decided.
+            role: ``"src"`` or ``"dst"`` — which end to ask.
+            from_node: The switch the flow's first packet arrived at; used
+                to compute the query round-trip latency.  ``None`` charges
+                only daemon processing time.
+            keys: Key hints for the query (defaults to the client's
+                default key list).
+            interceptors: On-path controllers, ordered from the querier
+                toward the target host.
+        """
+        query = IdentQuery(
+            flow=flow,
+            target_role=role,
+            keys=tuple(keys) if keys is not None else self.default_keys,
+        )
+        self.queries_sent.increment()
+
+        # Give each on-path controller the chance to answer outright.
+        for interceptor in interceptors:
+            answer = interceptor.intercept_query(query)
+            if answer is not None:
+                self.queries_intercepted.increment()
+                latency = self._interceptor_latency(from_node)
+                return QueryOutcome(
+                    query=query,
+                    response=answer,
+                    latency=latency,
+                    answered_by=getattr(interceptor, "name", "interceptor"),
+                    intercepted=True,
+                )
+
+        host = self.topology.node_for_ip(query.target_ip)
+        daemon = getattr(host, "identpp_daemon", None) if host is not None else None
+        if daemon is None:
+            self.queries_timed_out.increment()
+            return QueryOutcome(
+                query=query, response=None, latency=self.timeout, timed_out=True
+            )
+        response, processing = daemon.query_local(query)
+        latency = self._round_trip(from_node, host) + processing
+
+        # Responses are augmented on the way back, nearest-the-host first.
+        augmented: list[str] = []
+        for interceptor in reversed(list(interceptors)):
+            interceptor.augment_response(query, response)
+            augmented.append(getattr(interceptor, "name", "interceptor"))
+        return QueryOutcome(
+            query=query,
+            response=response,
+            latency=latency,
+            answered_by=response.responder,
+            augmented_by=augmented,
+        )
+
+    def query_both_ends(
+        self,
+        flow: FlowSpec,
+        *,
+        from_node: Optional[Node] = None,
+        keys: Optional[Sequence[str]] = None,
+        interceptors: Sequence[QueryInterceptor] = (),
+    ) -> tuple[QueryOutcome, QueryOutcome]:
+        """Query the source and the destination of ``flow`` (§2 step 3).
+
+        The two queries are issued in parallel in a real deployment, so
+        the caller should charge ``max`` of the two latencies, not the
+        sum; :meth:`combined_latency` does that.
+        """
+        src_outcome = self.query(
+            flow, ROLE_SOURCE, from_node=from_node, keys=keys, interceptors=interceptors
+        )
+        dst_outcome = self.query(
+            flow, ROLE_DESTINATION, from_node=from_node, keys=keys, interceptors=interceptors
+        )
+        return src_outcome, dst_outcome
+
+    @staticmethod
+    def combined_latency(outcomes: Sequence[QueryOutcome]) -> float:
+        """Return the wall-clock cost of queries issued in parallel."""
+        return max((outcome.latency for outcome in outcomes), default=0.0)
+
+    # ------------------------------------------------------------------
+    # Latency accounting
+    # ------------------------------------------------------------------
+
+    def _round_trip(self, from_node: Optional[Node], host: Node) -> float:
+        if from_node is None:
+            return 0.0
+        try:
+            one_way = self.topology.path_latency(from_node, host)
+        except Exception:
+            return self.timeout
+        return 2.0 * one_way
+
+    def _interceptor_latency(self, from_node: Optional[Node]) -> float:
+        # An interceptor sits on the path; charge a single hop either way
+        # as an approximation of "closer than the end-host".
+        if from_node is None:
+            return 0.0
+        links = [link.latency for link in self.topology.links()]
+        if not links:
+            return 0.0
+        return 2.0 * (sum(links) / len(links))

@@ -1,0 +1,234 @@
+"""The ident++ end-host daemon (§3.5).
+
+"End-hosts run a simple userspace ident++ daemon that responds with the
+key-value pairs to controller queries.  The daemon can answer queries
+both when the end-host is the source and when it is a destination that
+has yet to accept a connection."
+
+The daemon gathers key/value pairs from three places:
+
+1. **The operating system** — the process and user owning the queried
+   5-tuple (found lsof-style through the host's socket table), the
+   application's identity keys (name, executable hash, version, vendor)
+   and host-level facts such as the installed OS patch level.
+2. **Configuration files** — ``@app`` blocks from the system and user
+   configuration directories (:mod:`repro.identpp.daemon_config`),
+   possibly containing signed ``requirements`` the controller's
+   ``allowed()``/``verify()`` functions consume.
+3. **The application at run time** — pairs published over the
+   Unix-domain-socket channel, modelled by :class:`RuntimeKeyRegistry`
+   (e.g. a browser marking which flows were user-initiated).
+
+Pairs from different sources go into different response sections, as the
+wire format requires.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exceptions import QueryError
+from repro.hosts.endhost import EndHost
+from repro.hosts.processes import Process
+from repro.identpp.daemon_config import DaemonConfig
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.keyvalue import KeyValueSection, ResponseDocument
+from repro.identpp.wire import (
+    IDENT_PP_PORT,
+    ROLE_DESTINATION,
+    ROLE_SOURCE,
+    IdentQuery,
+    IdentResponse,
+    parse_query_packet,
+)
+from repro.netsim.packet import Packet
+from repro.netsim.statistics import Counter
+
+#: Time the daemon takes to assemble one response (process lookup +
+#: config file reads), charged to flow-setup latency.
+DEFAULT_PROCESSING_DELAY = 500e-6
+
+
+class RuntimeKeyRegistry:
+    """Run-time key/value pairs published by applications.
+
+    "The application can provide key-value pairs to the ident++ daemon at
+    run-time ... sent to the ident++ daemon via a Unix domain socket"
+    (§3.5).  The registry keys published pairs by flow so a single
+    process can label individual flows differently (the browser example).
+    """
+
+    def __init__(self) -> None:
+        self._by_flow: dict[FlowSpec, dict[str, str]] = {}
+        self._by_pid: dict[int, dict[str, str]] = {}
+
+    def publish_for_flow(self, flow: FlowSpec, pairs: dict[str, str]) -> None:
+        """Publish pairs that apply to one specific flow."""
+        self._by_flow.setdefault(flow, {}).update({str(k): str(v) for k, v in pairs.items()})
+
+    def publish_for_process(self, process: Process, pairs: dict[str, str]) -> None:
+        """Publish pairs that apply to every flow of one process."""
+        self._by_pid.setdefault(process.pid, {}).update({str(k): str(v) for k, v in pairs.items()})
+
+    def pairs_for(self, flow: FlowSpec, process: Optional[Process]) -> dict[str, str]:
+        """Return the merged run-time pairs for a flow (flow-specific wins)."""
+        merged: dict[str, str] = {}
+        if process is not None:
+            merged.update(self._by_pid.get(process.pid, {}))
+            merged.update(process.runtime_keys)
+        merged.update(self._by_flow.get(flow, {}))
+        return merged
+
+    def clear(self) -> None:
+        """Forget all published pairs."""
+        self._by_flow.clear()
+        self._by_pid.clear()
+
+
+class IdentPPDaemon:
+    """The ident++ daemon running on one end-host."""
+
+    def __init__(
+        self,
+        host: EndHost,
+        *,
+        processing_delay: float = DEFAULT_PROCESSING_DELAY,
+        host_facts: Optional[dict[str, str]] = None,
+    ) -> None:
+        self.host = host
+        self.processing_delay = processing_delay
+        self.system_config = DaemonConfig()
+        self.user_config = DaemonConfig()
+        self.runtime = RuntimeKeyRegistry()
+        #: Host-level facts reported on every response (OS name, patch
+        #: level, ...).  Figure 8's policy checks ``os-patch``.
+        self.host_facts: dict[str, str] = dict(host_facts or {})
+        #: When the host is compromised an attacker may replace responses
+        #: wholesale ("The attacker would gain control of the ident++
+        #: daemon and can send false ident++ responses", §5.3).
+        self.spoofed_pairs: Optional[dict[str, str]] = None
+        self.queries_answered = Counter(f"{host.name}.identpp.queries_answered")
+        self.queries_failed = Counter(f"{host.name}.identpp.queries_failed")
+        # Register on TCP 783 so queries arriving over the network reach us.
+        host.register_service(IDENT_PP_PORT, self._service_handler)
+        # Make the daemon discoverable by the query client / controllers.
+        setattr(host, "identpp_daemon", self)
+
+    # ------------------------------------------------------------------
+    # Configuration
+    # ------------------------------------------------------------------
+
+    def load_system_config(self, text: str, source: str = "system") -> None:
+        """Load an administrator-controlled configuration file."""
+        self.system_config.load(text, source=source)
+
+    def load_user_config(self, text: str, source: str = "user") -> None:
+        """Load a user-controlled configuration file."""
+        self.user_config.load(text, source=source)
+
+    def set_host_fact(self, key: str, value: str) -> None:
+        """Set a host-level fact (e.g. ``os-patch: MS08-067``)."""
+        self.host_facts[str(key)] = str(value)
+
+    def spoof_responses(self, pairs: Optional[dict[str, str]]) -> None:
+        """Make the daemon lie (attacker-controlled host).  ``None`` restores honesty."""
+        self.spoofed_pairs = dict(pairs) if pairs is not None else None
+
+    # ------------------------------------------------------------------
+    # Answering queries
+    # ------------------------------------------------------------------
+
+    def answer(self, query: IdentQuery) -> IdentResponse:
+        """Build the response document for a query.
+
+        The queried host must be an endpoint of the flow in the role the
+        query names; otherwise :class:`~repro.exceptions.QueryError` is
+        raised (a real daemon would simply not receive such a query).
+        """
+        flow = query.flow
+        expected_ip = flow.src_ip if query.target_role == ROLE_SOURCE else flow.dst_ip
+        if expected_ip != self.host.ip:
+            self.queries_failed.increment()
+            raise QueryError(
+                f"daemon on {self.host.name} ({self.host.ip}) queried as {query.target_role} "
+                f"of flow {flow}, which names {expected_ip}"
+            )
+        if self.spoofed_pairs is not None:
+            self.queries_answered.increment()
+            document = ResponseDocument()
+            document.add_section(dict(self.spoofed_pairs), source=f"{self.host.name}:spoofed")
+            return IdentResponse(flow=flow, document=document, responder=self.host.name)
+
+        as_destination = query.target_role == ROLE_DESTINATION
+        process = self.host.sockets.process_for_flow(
+            flow.src_ip, flow.dst_ip, flow.proto, flow.src_port, flow.dst_port,
+            as_destination=as_destination,
+        )
+        document = ResponseDocument()
+        document.add_section(self._base_section(process))
+        for section in self._config_sections(process):
+            document.add_section(section)
+        runtime_pairs = self.runtime.pairs_for(flow, process)
+        if runtime_pairs:
+            document.add_section(
+                KeyValueSection.from_dict(runtime_pairs, source=f"{self.host.name}:runtime")
+            )
+        self.queries_answered.increment()
+        return IdentResponse(flow=flow, document=document, responder=self.host.name)
+
+    def _base_section(self, process: Optional[Process]) -> KeyValueSection:
+        """Build the OS-derived section (user, group, application identity, host facts)."""
+        section = KeyValueSection(source=f"{self.host.name}:daemon")
+        if process is None:
+            section.add("responder", self.host.name)
+            section.add("no-process", "true")
+        else:
+            section.add("responder", self.host.name)
+            section.add("userID", process.user.name)
+            section.add("groupID", " ".join(sorted(process.user.groups)) or process.user.name)
+            section.add("pid", str(process.pid))
+            for key, value in process.application.identity_keys().items():
+                section.add(key, value)
+        for key, value in sorted(self.host_facts.items()):
+            section.add(key, value)
+        return section
+
+    def _config_sections(self, process: Optional[Process]) -> list[KeyValueSection]:
+        """Return the configuration-file sections that apply to the owning process."""
+        sections: list[KeyValueSection] = []
+        if process is None:
+            return sections
+        path = process.exe_path
+        sections.extend(self.system_config.sections_for_path(path))
+        sections.extend(self.user_config.sections_for_path(path))
+        return sections
+
+    # ------------------------------------------------------------------
+    # Network-facing entry points
+    # ------------------------------------------------------------------
+
+    def _service_handler(self, packet: Packet, host: EndHost) -> None:
+        """Handle a query packet arriving over the simulated network."""
+        try:
+            query = parse_query_packet(packet)
+            response = self.answer(query)
+        except Exception:
+            self.queries_failed.increment()
+            return
+        reply = response.to_packet(packet)
+        delay = self.processing_delay
+        if host.sim is not None:
+            host.sim.schedule(delay, host.transmit, reply, label=f"identpp-reply:{host.name}")
+        else:
+            host.transmit(reply)
+
+    def query_local(self, query: IdentQuery) -> tuple[IdentResponse, float]:
+        """Answer a query without going through the network.
+
+        Returns ``(response, processing delay)``; the query client adds
+        network round-trip time on top.
+        """
+        return self.answer(query), self.processing_delay
+
+    def __repr__(self) -> str:
+        return f"IdentPPDaemon(host={self.host.name!r})"

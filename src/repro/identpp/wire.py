@@ -1,0 +1,225 @@
+"""The ident++ query/response wire format (§3.2).
+
+A query packet's payload is::
+
+    <PROTO> <SRC PORT> <DST PORT>
+    <key 0>
+    <key 1>
+    ...
+
+and a response packet's payload is::
+
+    <PROTO> <SRC PORT> <DST PORT>
+    <key 0>: <value 0>
+    ...
+    <newline>
+    <key n>: <value n>
+    ...
+
+The flow's IP addresses are carried in the packet's IP header rather
+than the payload: "The controller making the query uses the flow's
+destination IP address as the query's source IP address" when querying
+the flow's *source* host (mirroring RFC 1413, where the connection's
+remote end asks the local end).  Symmetrically, a query to the flow's
+*destination* host is sent with the flow's source IP address as the
+query's source.  Queries are addressed to TCP port 783.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import WireFormatError
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.keyvalue import ResponseDocument
+from repro.netsim.packet import IP_PROTO_TCP, Packet, proto_name, proto_number
+
+#: The TCP port the ident++ daemon listens on (§2). RFC 1413 uses 113;
+#: the paper moves the richer protocol to 783.
+IDENT_PP_PORT = 783
+
+#: Roles a queried host can play in the flow being asked about.
+ROLE_SOURCE = "src"
+ROLE_DESTINATION = "dst"
+
+#: Default keys a controller asks for when the policy does not say
+#: otherwise.  "The list of keys in the query packet only provide a hint
+#: for what the controller needs" (§3.2).
+DEFAULT_QUERY_KEYS = (
+    "userID",
+    "groupID",
+    "name",
+    "app-name",
+    "exe-hash",
+    "version",
+    "requirements",
+    "req-sig",
+)
+
+
+def _first_line(flow: FlowSpec) -> str:
+    return f"{flow.proto_name().upper()} {flow.src_port} {flow.dst_port}"
+
+
+def _parse_first_line(line: str) -> tuple[int, int, int]:
+    parts = line.split()
+    if len(parts) != 3:
+        raise WireFormatError(f"malformed ident++ first line: {line!r}")
+    proto_text, src_text, dst_text = parts
+    try:
+        proto = proto_number(proto_text.lower())
+        src_port = int(src_text)
+        dst_port = int(dst_text)
+    except Exception as exc:
+        raise WireFormatError(f"malformed ident++ first line: {line!r}") from exc
+    if not (0 <= src_port <= 0xFFFF and 0 <= dst_port <= 0xFFFF):
+        raise WireFormatError(f"ident++ first line port out of range: {line!r}")
+    return proto, src_port, dst_port
+
+
+@dataclass
+class IdentQuery:
+    """An ident++ query about one flow, aimed at one of its endpoints.
+
+    Attributes:
+        flow: The flow being asked about.
+        target_role: Which end of the flow is being queried
+            (``"src"`` or ``"dst"``).
+        keys: The key hints included in the query payload.
+    """
+
+    flow: FlowSpec
+    target_role: str = ROLE_SOURCE
+    keys: tuple[str, ...] = field(default_factory=lambda: tuple(DEFAULT_QUERY_KEYS))
+
+    def __post_init__(self) -> None:
+        if self.target_role not in (ROLE_SOURCE, ROLE_DESTINATION):
+            raise WireFormatError(f"unknown ident++ query target role: {self.target_role!r}")
+        self.keys = tuple(self.keys)
+
+    @property
+    def target_ip(self):
+        """Return the IP address of the host this query is addressed to."""
+        return self.flow.src_ip if self.target_role == ROLE_SOURCE else self.flow.dst_ip
+
+    @property
+    def spoofed_source_ip(self):
+        """Return the source IP the controller writes on the query packet.
+
+        §3.2: the query's source IP is the flow's *other* endpoint, so
+        the queried daemon can recover the full 5-tuple from the IP
+        header plus the payload's proto/port line.
+        """
+        return self.flow.dst_ip if self.target_role == ROLE_SOURCE else self.flow.src_ip
+
+    def to_payload(self) -> str:
+        """Serialise the query payload."""
+        lines = [_first_line(self.flow)]
+        lines.extend(self.keys)
+        return "\n".join(lines)
+
+    def to_packet(self) -> Packet:
+        """Build the query packet (IP header spoofing per §3.2, TCP port 783)."""
+        return Packet(
+            ip_src=self.spoofed_source_ip,
+            ip_dst=self.target_ip,
+            ip_proto=IP_PROTO_TCP,
+            tp_src=IDENT_PP_PORT,
+            tp_dst=IDENT_PP_PORT,
+            payload=self.to_payload(),
+            metadata={"identpp": "query", "role": self.target_role},
+        )
+
+
+@dataclass
+class IdentResponse:
+    """An ident++ response: the echoed flow line plus the section document."""
+
+    flow: FlowSpec
+    document: ResponseDocument
+    responder: str = ""
+
+    def to_payload(self) -> str:
+        """Serialise the response payload (§3.2 format)."""
+        body = self.document.to_body()
+        first = _first_line(self.flow)
+        if body:
+            return first + "\n" + body
+        return first
+
+    def to_packet(self, query_packet: Packet) -> Packet:
+        """Build the response packet as a reply to ``query_packet``."""
+        reply = query_packet.reply_template()
+        reply.payload = self.to_payload()
+        reply.metadata = {"identpp": "response", "responder": self.responder}
+        return reply
+
+
+def parse_query_payload(
+    payload: str,
+    *,
+    query_src_ip,
+    query_dst_ip,
+    target_role: str = ROLE_SOURCE,
+) -> IdentQuery:
+    """Parse a query payload back into an :class:`IdentQuery`.
+
+    The flow's IP addresses are reconstructed from the query packet's IP
+    header: the queried host is always the packet's destination, and the
+    spoofed source is the flow's other end.  ``target_role`` says which
+    end the queried host plays.
+    """
+    lines = [line for line in str(payload).splitlines()]
+    if not lines:
+        raise WireFormatError("empty ident++ query payload")
+    proto, src_port, dst_port = _parse_first_line(lines[0])
+    keys = tuple(line.strip() for line in lines[1:] if line.strip())
+    if target_role == ROLE_SOURCE:
+        flow = FlowSpec(
+            src_ip=query_dst_ip, dst_ip=query_src_ip,
+            proto=proto, src_port=src_port, dst_port=dst_port,
+        )
+    elif target_role == ROLE_DESTINATION:
+        flow = FlowSpec(
+            src_ip=query_src_ip, dst_ip=query_dst_ip,
+            proto=proto, src_port=src_port, dst_port=dst_port,
+        )
+    else:
+        raise WireFormatError(f"unknown ident++ query target role: {target_role!r}")
+    return IdentQuery(flow=flow, target_role=target_role, keys=keys or tuple(DEFAULT_QUERY_KEYS))
+
+
+def parse_query_packet(packet: Packet) -> IdentQuery:
+    """Parse a query directly from a packet (role read from packet metadata)."""
+    if not packet.is_tcp() or packet.tp_dst != IDENT_PP_PORT:
+        raise WireFormatError("packet is not an ident++ query (wrong protocol/port)")
+    role = packet.metadata.get("role", ROLE_SOURCE)
+    payload = packet.payload if isinstance(packet.payload, str) else packet.payload_bytes().decode("utf-8")
+    return parse_query_payload(
+        payload, query_src_ip=packet.ip_src, query_dst_ip=packet.ip_dst, target_role=role
+    )
+
+
+def parse_response_payload(payload: str, flow: Optional[FlowSpec] = None) -> IdentResponse:
+    """Parse a response payload into an :class:`IdentResponse`.
+
+    When ``flow`` is given it overrides the proto/port line (the IP
+    addresses are not carried in the payload); otherwise a placeholder
+    flow with zeroed addresses is synthesised from the first line.
+    """
+    lines = str(payload).splitlines()
+    if not lines:
+        raise WireFormatError("empty ident++ response payload")
+    proto, src_port, dst_port = _parse_first_line(lines[0])
+    body = "\n".join(lines[1:])
+    document = ResponseDocument.from_body(body)
+    if flow is None:
+        flow = FlowSpec(src_ip=0, dst_ip=0, proto=proto, src_port=src_port, dst_port=dst_port)
+    else:
+        if (flow.proto, flow.src_port, flow.dst_port) != (proto, src_port, dst_port):
+            raise WireFormatError(
+                "response first line does not match the expected flow: "
+                f"{proto_name(proto)} {src_port} {dst_port} vs {flow}"
+            )
+    return IdentResponse(flow=flow, document=document)

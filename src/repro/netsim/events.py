@@ -1,0 +1,186 @@
+"""Deterministic discrete-event scheduler.
+
+The simulator is single-threaded and deterministic: events are ordered by
+``(time, sequence number)`` so two runs of the same scenario produce the
+same packet orderings, which the integration tests rely on.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.exceptions import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare by ``(time, seq)``; the callback and its arguments are
+    excluded from the ordering.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple = field(compare=False, default=())
+    kwargs: dict = field(compare=False, default_factory=dict)
+    cancelled: bool = field(compare=False, default=False)
+    label: str = field(compare=False, default="")
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is harmless."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A discrete-event simulator clock and event queue.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(0.5, node.receive, packet, port)
+        sim.run()
+
+    Time is measured in seconds (floats).  The simulator never advances
+    wall-clock time; :meth:`run` drains the event queue in timestamp
+    order until it is empty or a time/event limit is hit.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._queue: list[Event] = []
+        self._seq = itertools.count()
+        self._events_processed = 0
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Return how many events have fired so far."""
+        return self._events_processed
+
+    def pending(self) -> int:
+        """Return the number of events still queued (including cancelled ones)."""
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` to run ``delay`` seconds from now.
+
+        Returns the :class:`Event`, which the caller may :meth:`Event.cancel`.
+        A negative delay raises :class:`~repro.exceptions.SimulationError`.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        event = Event(
+            time=self._now + delay,
+            seq=next(self._seq),
+            callback=callback,
+            args=args,
+            kwargs=kwargs,
+            label=label,
+        )
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[..., None],
+        *args: Any,
+        label: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule a callback at an absolute simulated time."""
+        return self.schedule(when - self._now, callback, *args, label=label, **kwargs)
+
+    def call_now(self, callback: Callable[..., None], *args: Any, **kwargs: Any) -> Event:
+        """Schedule a callback to run at the current time (after already-queued events at this time)."""
+        return self.schedule(0.0, callback, *args, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def step(self) -> Optional[Event]:
+        """Fire the earliest pending event and return it.
+
+        Returns ``None`` when the queue is empty.  Cancelled events are
+        skipped silently.
+        """
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            if event.time < self._now:
+                raise SimulationError("event queue corrupted: time went backwards")
+            self._now = event.time
+            self._events_processed += 1
+            event.callback(*event.args, **event.kwargs)
+            return event
+        return None
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run until the queue drains, ``until`` seconds of simulated time, or ``max_events``.
+
+        Returns the number of events processed by this call.  Nested calls
+        to :meth:`run` are rejected to avoid re-entrancy bugs in node
+        callbacks.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not re-entrant")
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                if max_events is not None and processed >= max_events:
+                    break
+                next_event = self._peek()
+                if next_event is None:
+                    break
+                if until is not None and next_event.time > until:
+                    self._now = until
+                    break
+                if self.step() is not None:
+                    processed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until and not self._queue:
+            self._now = until
+        return processed
+
+    def _peek(self) -> Optional[Event]:
+        """Return the earliest non-cancelled event without firing it."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0] if self._queue else None
+
+    def reset(self) -> None:
+        """Clear the queue and rewind the clock to zero."""
+        if self._running:
+            raise SimulationError("cannot reset a running simulator")
+        self._queue.clear()
+        self._now = 0.0
+        self._events_processed = 0

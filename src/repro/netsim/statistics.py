@@ -1,0 +1,218 @@
+"""Counters, histograms and a statistics registry.
+
+The benchmark harness (flow-setup latency breakdowns, bottleneck traffic
+saved, cache hit rates) reads these rather than scraping logs, so every
+statistic of interest in the library is a :class:`Counter` or a
+:class:`Histogram` registered in a :class:`StatsRegistry`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Iterator
+
+
+class Counter:
+    """A monotonically increasing (but resettable) named counter."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str = "", initial: int | float = 0) -> None:
+        self.name = name
+        self._value = initial
+
+    @property
+    def value(self) -> int | float:
+        """Return the current count."""
+        return self._value
+
+    def increment(self, amount: int | float = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: cannot increment by negative {amount}")
+        self._value += amount
+
+    def reset(self) -> None:
+        """Set the counter back to zero."""
+        self._value = 0
+
+    def __int__(self) -> int:
+        return int(self._value)
+
+    def __float__(self) -> float:
+        return float(self._value)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Counter):
+            return self._value == other._value
+        if isinstance(other, (int, float)):
+            return self._value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:  # counters are identity-hashed; equality is numeric
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self._value})"
+
+
+class Histogram:
+    """A streaming histogram of observations.
+
+    Keeps every sample (scenarios in this library are small enough) and
+    exposes count/mean/percentiles, which the latency benchmarks report.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._samples: list[float] = []
+        self._sorted = True
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self._samples.append(float(value))
+        self._sorted = False
+
+    def extend(self, values: Iterable[float]) -> None:
+        """Record many observations."""
+        for value in values:
+            self.observe(value)
+
+    def _ensure_sorted(self) -> None:
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+
+    @property
+    def count(self) -> int:
+        """Return the number of observations."""
+        return len(self._samples)
+
+    @property
+    def total(self) -> float:
+        """Return the sum of all observations."""
+        return sum(self._samples)
+
+    @property
+    def mean(self) -> float:
+        """Return the arithmetic mean (0.0 when empty)."""
+        if not self._samples:
+            return 0.0
+        return self.total / len(self._samples)
+
+    @property
+    def minimum(self) -> float:
+        """Return the smallest observation (0.0 when empty)."""
+        return min(self._samples) if self._samples else 0.0
+
+    @property
+    def maximum(self) -> float:
+        """Return the largest observation (0.0 when empty)."""
+        return max(self._samples) if self._samples else 0.0
+
+    @property
+    def stddev(self) -> float:
+        """Return the population standard deviation (0.0 for < 2 samples)."""
+        if len(self._samples) < 2:
+            return 0.0
+        mean = self.mean
+        return math.sqrt(sum((x - mean) ** 2 for x in self._samples) / len(self._samples))
+
+    def percentile(self, pct: float) -> float:
+        """Return the ``pct``-th percentile using nearest-rank interpolation."""
+        if not self._samples:
+            return 0.0
+        if not 0 <= pct <= 100:
+            raise ValueError(f"percentile out of range: {pct}")
+        self._ensure_sorted()
+        if len(self._samples) == 1:
+            return self._samples[0]
+        rank = (pct / 100.0) * (len(self._samples) - 1)
+        low = int(math.floor(rank))
+        high = int(math.ceil(rank))
+        if low == high:
+            return self._samples[low]
+        fraction = rank - low
+        lower_value = self._samples[low]
+        return lower_value + fraction * (self._samples[high] - lower_value)
+
+    @property
+    def median(self) -> float:
+        """Return the 50th percentile."""
+        return self.percentile(50)
+
+    def samples(self) -> list[float]:
+        """Return a copy of all recorded samples (sorted)."""
+        self._ensure_sorted()
+        return list(self._samples)
+
+    def reset(self) -> None:
+        """Discard all observations."""
+        self._samples.clear()
+        self._sorted = True
+
+    def summary(self) -> dict[str, float]:
+        """Return a summary dictionary used by the benchmark reports."""
+        return {
+            "count": float(self.count),
+            "mean": self.mean,
+            "min": self.minimum,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.maximum,
+            "stddev": self.stddev,
+        }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.6g})"
+
+
+class StatsRegistry:
+    """A named collection of counters and histograms.
+
+    Scenario objects expose a registry so that the analysis and benchmark
+    modules can enumerate everything that was measured during a run.
+    """
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Return the counter with the given name, creating it if needed."""
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Return the histogram with the given name, creating it if needed."""
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def counters(self) -> Iterator[Counter]:
+        """Iterate over registered counters in name order."""
+        for name in sorted(self._counters):
+            yield self._counters[name]
+
+    def histograms(self) -> Iterator[Histogram]:
+        """Iterate over registered histograms in name order."""
+        for name in sorted(self._histograms):
+            yield self._histograms[name]
+
+    def snapshot(self) -> dict[str, float | dict[str, float]]:
+        """Return every statistic as plain Python values."""
+        result: dict[str, float | dict[str, float]] = {}
+        for counter in self.counters():
+            result[counter.name] = float(counter.value)
+        for histogram in self.histograms():
+            result[histogram.name] = histogram.summary()
+        return result
+
+    def reset(self) -> None:
+        """Reset every registered statistic."""
+        for counter in self._counters.values():
+            counter.reset()
+        for histogram in self._histograms.values():
+            histogram.reset()

@@ -1,0 +1,244 @@
+"""Topology builder.
+
+A :class:`Topology` owns a :class:`~repro.netsim.events.Simulator`, the
+set of :class:`~repro.netsim.nodes.Node` objects and the
+:class:`~repro.netsim.links.Link` objects between them, and mirrors the
+connectivity into a :class:`networkx.Graph` so path queries (which the
+ident++ controller uses to install flow entries "along the path", §3.4)
+are one call away.
+
+The builder also hands out unique MAC addresses and keeps an IP → node
+index so controllers and daemons can resolve the hosts behind a flow.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+import networkx as nx
+
+from repro.exceptions import TopologyError
+from repro.netsim.addresses import IPv4Address, MACAddress
+from repro.netsim.events import Simulator
+from repro.netsim.links import DEFAULT_BANDWIDTH, DEFAULT_LATENCY, Link
+from repro.netsim.nodes import Node, Port
+from repro.netsim.trace import PacketTrace
+
+
+class Topology:
+    """A collection of nodes and links bound to a single simulator."""
+
+    def __init__(self, name: str = "topology", sim: Optional[Simulator] = None) -> None:
+        self.name = name
+        self.sim = sim if sim is not None else Simulator()
+        self.trace = PacketTrace(name=f"{name}.trace")
+        self._nodes: dict[str, Node] = {}
+        self._links: list[Link] = []
+        self._graph = nx.Graph()
+        self._mac_index = 0
+        self._ip_to_node: dict[IPv4Address, Node] = {}
+
+    # ------------------------------------------------------------------
+    # Nodes
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Register a node, binding it to the topology's simulator."""
+        if node.name in self._nodes:
+            raise TopologyError(f"duplicate node name: {node.name}")
+        node.attach(self.sim)
+        self._nodes[node.name] = node
+        self._graph.add_node(node.name)
+        return node
+
+    def node(self, name: str) -> Node:
+        """Return the node with the given name."""
+        try:
+            return self._nodes[name]
+        except KeyError as exc:
+            raise TopologyError(f"unknown node: {name}") from exc
+
+    def has_node(self, name: str) -> bool:
+        """Return ``True`` if a node with this name is registered."""
+        return name in self._nodes
+
+    def nodes(self) -> Iterator[Node]:
+        """Iterate over nodes in name order."""
+        for name in sorted(self._nodes):
+            yield self._nodes[name]
+
+    def node_names(self) -> list[str]:
+        """Return all node names sorted."""
+        return sorted(self._nodes)
+
+    def next_mac(self) -> MACAddress:
+        """Return a fresh, unique, locally administered MAC address."""
+        self._mac_index += 1
+        return MACAddress.from_index(self._mac_index)
+
+    def register_ip(self, address: IPv4Address | str, node: Node) -> None:
+        """Record that ``address`` belongs to ``node`` (used by host lookups)."""
+        address = IPv4Address(address)
+        existing = self._ip_to_node.get(address)
+        if existing is not None and existing is not node:
+            raise TopologyError(f"IP {address} already assigned to {existing.name}")
+        self._ip_to_node[address] = node
+
+    def node_for_ip(self, address: IPv4Address | str) -> Optional[Node]:
+        """Return the node owning ``address``, or ``None``."""
+        return self._ip_to_node.get(IPv4Address(address))
+
+    def registered_ips(self) -> dict[IPv4Address, Node]:
+        """Return a copy of the IP → node index."""
+        return dict(self._ip_to_node)
+
+    # ------------------------------------------------------------------
+    # Links
+    # ------------------------------------------------------------------
+
+    def add_link(
+        self,
+        node_a: Node | str,
+        node_b: Node | str,
+        *,
+        latency: float = DEFAULT_LATENCY,
+        bandwidth: Optional[float] = DEFAULT_BANDWIDTH,
+        port_a: Optional[int] = None,
+        port_b: Optional[int] = None,
+    ) -> Link:
+        """Create a link between two registered nodes.
+
+        New ports are allocated on each node unless explicit port numbers
+        are given.  Returns the created :class:`Link`.
+        """
+        node_a = self._resolve(node_a)
+        node_b = self._resolve(node_b)
+        if node_a is node_b:
+            raise TopologyError(f"cannot link node {node_a.name} to itself")
+        end_a = node_a.port(port_a) if port_a is not None else node_a.add_port()
+        end_b = node_b.port(port_b) if port_b is not None else node_b.add_port()
+        link = Link(end_a, end_b, latency=latency, bandwidth=bandwidth)
+        self._links.append(link)
+        self._graph.add_edge(node_a.name, node_b.name, latency=latency, link=link)
+        return link
+
+    def links(self) -> list[Link]:
+        """Return all links in creation order."""
+        return list(self._links)
+
+    def link_between(self, node_a: Node | str, node_b: Node | str) -> Optional[Link]:
+        """Return the link directly connecting two nodes, or ``None``."""
+        name_a = self._resolve(node_a).name
+        name_b = self._resolve(node_b).name
+        data = self._graph.get_edge_data(name_a, name_b)
+        if data is None:
+            return None
+        return data.get("link")
+
+    def _resolve(self, node: Node | str) -> Node:
+        if isinstance(node, Node):
+            if node.name not in self._nodes:
+                raise TopologyError(f"node {node.name} is not part of topology {self.name}")
+            return node
+        return self.node(node)
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.Graph:
+        """Return the underlying :mod:`networkx` graph (node names as vertices)."""
+        return self._graph
+
+    def shortest_path(self, source: Node | str, target: Node | str) -> list[Node]:
+        """Return the latency-weighted shortest path as a list of nodes (inclusive)."""
+        source_name = self._resolve(source).name
+        target_name = self._resolve(target).name
+        try:
+            names = nx.shortest_path(self._graph, source_name, target_name, weight="latency")
+        except nx.NetworkXNoPath as exc:
+            raise TopologyError(f"no path from {source_name} to {target_name}") from exc
+        except nx.NodeNotFound as exc:
+            raise TopologyError(str(exc)) from exc
+        return [self._nodes[name] for name in names]
+
+    def path_latency(self, source: Node | str, target: Node | str) -> float:
+        """Return the sum of link latencies along the shortest path."""
+        path = self.shortest_path(source, target)
+        total = 0.0
+        for left, right in zip(path, path[1:]):
+            link = self.link_between(left, right)
+            if link is None:
+                raise TopologyError(f"missing link between {left.name} and {right.name}")
+            total += link.latency
+        return total
+
+    def egress_port(self, node: Node | str, toward: Node | str) -> Port:
+        """Return the port on ``node`` whose link leads directly to ``toward``.
+
+        The ident++ controller uses this when installing flow entries hop
+        by hop along the path of an approved flow.
+        """
+        node = self._resolve(node)
+        toward = self._resolve(toward)
+        link = self.link_between(node, toward)
+        if link is None:
+            raise TopologyError(f"nodes {node.name} and {toward.name} are not adjacent")
+        for port in link.endpoints():
+            if port.node is node:
+                return port
+        raise TopologyError(f"link {link.name} has no endpoint on {node.name}")
+
+    def connected(self, source: Node | str, target: Node | str) -> bool:
+        """Return ``True`` if a path exists between the two nodes."""
+        try:
+            self.shortest_path(source, target)
+        except TopologyError:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Execution helpers
+    # ------------------------------------------------------------------
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Run the owned simulator (see :meth:`Simulator.run`)."""
+        return self.sim.run(until=until, max_events=max_events)
+
+    def describe(self) -> dict[str, object]:
+        """Return a dictionary summarising the topology (used in reports)."""
+        return {
+            "name": self.name,
+            "nodes": self.node_names(),
+            "links": [link.name for link in self._links],
+            "diameter": self._diameter(),
+        }
+
+    def _diameter(self) -> int:
+        if self._graph.number_of_nodes() < 2 or not nx.is_connected(self._graph):
+            return 0
+        return int(nx.diameter(self._graph))
+
+
+def build_linear_topology(
+    node_factories: Iterable[Node],
+    *,
+    name: str = "linear",
+    latency: float = DEFAULT_LATENCY,
+    bandwidth: Optional[float] = DEFAULT_BANDWIDTH,
+) -> Topology:
+    """Build a chain topology out of pre-constructed nodes (in order).
+
+    Convenience used by tests and the Figure 1 benchmark:
+    ``host -- switch -- ... -- switch -- host``.
+    """
+    topo = Topology(name=name)
+    nodes = list(node_factories)
+    if len(nodes) < 2:
+        raise TopologyError("a linear topology needs at least two nodes")
+    for node in nodes:
+        topo.add_node(node)
+    for left, right in zip(nodes, nodes[1:]):
+        topo.add_link(left, right, latency=latency, bandwidth=bandwidth)
+    return topo

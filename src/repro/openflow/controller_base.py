@@ -1,0 +1,239 @@
+"""Controller base class and a learning-switch reference controller.
+
+The ident++ controller (:mod:`repro.core.controller`), the Ethane-style
+baseline and the plain learning switch all share the same mechanics:
+they own control channels to a set of switches, receive ``packet_in``
+messages and answer with ``flow_mod`` / ``packet_out``.  That shared
+machinery lives in :class:`Controller`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence
+
+from repro.exceptions import ChannelError, OpenFlowError
+from repro.netsim.addresses import MACAddress
+from repro.netsim.events import Simulator
+from repro.netsim.statistics import Counter, StatsRegistry
+from repro.openflow.actions import Action, FloodAction, OutputAction
+from repro.openflow.channel import DEFAULT_CONTROL_LATENCY, ControllerChannel
+from repro.openflow.flow_table import DEFAULT_PRIORITY
+from repro.openflow.match import Match
+from repro.openflow.messages import (
+    ControlMessage,
+    FlowMod,
+    FlowModCommand,
+    FlowRemoved,
+    PacketIn,
+    PacketOut,
+    PortStatsReply,
+)
+from repro.openflow.switch import OpenFlowSwitch
+
+
+class Controller:
+    """Base class for OpenFlow controllers.
+
+    Subclasses implement :meth:`on_packet_in`; everything else (switch
+    registration, message dispatch, flow-mod helpers, statistics) is
+    provided here.
+    """
+
+    def __init__(self, name: str = "controller") -> None:
+        self.name = name
+        self.sim: Optional[Simulator] = None
+        self.channels: dict[str, ControllerChannel] = {}
+        self.stats = StatsRegistry()
+        self.packet_ins = Counter(f"{name}.packet_ins")
+        self.flow_mods = Counter(f"{name}.flow_mods")
+        self.packet_outs = Counter(f"{name}.packet_outs")
+        self.compromised = False
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def attach(self, sim: Simulator) -> None:
+        """Bind the controller to a simulator clock."""
+        self.sim = sim
+
+    @property
+    def now(self) -> float:
+        """Return the current simulated time (0.0 when detached)."""
+        return self.sim.now if self.sim is not None else 0.0
+
+    def register_switch(
+        self,
+        switch: OpenFlowSwitch,
+        *,
+        latency: float = DEFAULT_CONTROL_LATENCY,
+    ) -> ControllerChannel:
+        """Create the control channel to ``switch`` and remember it."""
+        if switch.name in self.channels:
+            raise ChannelError(f"switch {switch.name} already registered with {self.name}")
+        if self.sim is None and switch.sim is not None:
+            self.sim = switch.sim
+        channel = ControllerChannel(switch, self, latency=latency)
+        switch.set_channel(channel)
+        self.channels[switch.name] = channel
+        return channel
+
+    def switches(self) -> list[OpenFlowSwitch]:
+        """Return the registered switches in name order."""
+        return [self.channels[name].switch for name in sorted(self.channels)]
+
+    def channel_for(self, switch: OpenFlowSwitch | str) -> ControllerChannel:
+        """Return the control channel for a switch (by object or name)."""
+        name = switch if isinstance(switch, str) else switch.name
+        try:
+            return self.channels[name]
+        except KeyError as exc:
+            raise ChannelError(f"switch {name} is not registered with controller {self.name}") from exc
+
+    # ------------------------------------------------------------------
+    # Message dispatch
+    # ------------------------------------------------------------------
+
+    def handle_message(self, message: ControlMessage) -> None:
+        """Dispatch a switch → controller message to the right handler."""
+        if isinstance(message, PacketIn):
+            self.packet_ins.increment()
+            self.on_packet_in(message)
+        elif isinstance(message, FlowRemoved):
+            self.on_flow_removed(message)
+        elif isinstance(message, PortStatsReply):
+            self.on_port_stats(message)
+        else:
+            raise OpenFlowError(f"controller {self.name} cannot handle {type(message).__name__}")
+
+    def on_packet_in(self, message: PacketIn) -> None:
+        """Handle an unmatched packet.  Subclasses must override."""
+        raise NotImplementedError
+
+    def on_flow_removed(self, message: FlowRemoved) -> None:
+        """Handle a flow-expiry notification (default: ignore)."""
+
+    def on_port_stats(self, message: PortStatsReply) -> None:
+        """Handle a port-statistics reply (default: ignore)."""
+
+    # ------------------------------------------------------------------
+    # Controller → switch helpers
+    # ------------------------------------------------------------------
+
+    def install_flow(
+        self,
+        switch: OpenFlowSwitch | str,
+        match: Match,
+        actions: Sequence[Action],
+        *,
+        priority: int = DEFAULT_PRIORITY,
+        idle_timeout: float = 0.0,
+        hard_timeout: float = 0.0,
+        cookie: str = "",
+        buffer_id: Optional[int] = None,
+    ) -> FlowMod:
+        """Send a flow-mod installing a cached decision on ``switch``."""
+        message = FlowMod(
+            match=match,
+            actions=tuple(actions),
+            priority=priority,
+            idle_timeout=idle_timeout,
+            hard_timeout=hard_timeout,
+            cookie=cookie,
+            buffer_id=buffer_id,
+        )
+        self.flow_mods.increment()
+        self.channel_for(switch).send_to_switch(message)
+        return message
+
+    def remove_flows(
+        self,
+        switch: OpenFlowSwitch | str,
+        match: Match,
+        *,
+        strict: bool = False,
+    ) -> FlowMod:
+        """Send a flow-mod deleting entries covered by ``match`` on ``switch``."""
+        message = FlowMod(
+            match=match,
+            command=FlowModCommand.DELETE_STRICT if strict else FlowModCommand.DELETE,
+        )
+        self.flow_mods.increment()
+        self.channel_for(switch).send_to_switch(message)
+        return message
+
+    def send_packet_out(
+        self,
+        switch: OpenFlowSwitch | str,
+        *,
+        actions: Sequence[Action],
+        buffer_id: Optional[int] = None,
+        packet=None,
+        in_port: Optional[int] = None,
+    ) -> PacketOut:
+        """Release a buffered packet (or inject a new one) on ``switch``."""
+        message = PacketOut(
+            actions=tuple(actions), buffer_id=buffer_id, packet=packet, in_port=in_port
+        )
+        self.packet_outs.increment()
+        self.channel_for(switch).send_to_switch(message)
+        return message
+
+    def broadcast_flow(self, match: Match, actions: Sequence[Action], **kwargs) -> None:
+        """Install the same flow entry on every registered switch."""
+        for switch in self.switches():
+            self.install_flow(switch, match, actions, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Security harness hook
+    # ------------------------------------------------------------------
+
+    def mark_compromised(self) -> None:
+        """Mark the controller attacker-controlled (§5.1: all protection is disabled)."""
+        self.compromised = True
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r}, switches={len(self.channels)})"
+
+
+class LearningSwitchController(Controller):
+    """A MAC-learning controller: the simplest functional baseline.
+
+    It provides no security policy at all; everything is forwarded.  The
+    baselines package builds on it and the tests use it to validate the
+    OpenFlow substrate independently of ident++.
+    """
+
+    def __init__(self, name: str = "learning-controller", *, idle_timeout: float = 60.0) -> None:
+        super().__init__(name)
+        self.idle_timeout = idle_timeout
+        # Per-switch MAC → port tables.
+        self._mac_tables: dict[str, dict[MACAddress, int]] = {}
+
+    def on_packet_in(self, message: PacketIn) -> None:
+        switch = message.switch
+        packet = message.packet
+        table = self._mac_tables.setdefault(switch.name, {})
+        if not packet.eth_src.is_multicast():
+            table[packet.eth_src] = message.in_port
+        out_port = table.get(packet.eth_dst)
+        if out_port is None or out_port == message.in_port:
+            self.send_packet_out(
+                switch, actions=[FloodAction()], buffer_id=message.buffer_id,
+                in_port=message.in_port,
+            )
+            return
+        match = Match.from_packet(packet, in_port=message.in_port)
+        self.install_flow(
+            switch,
+            match,
+            [OutputAction(out_port)],
+            idle_timeout=self.idle_timeout,
+            buffer_id=message.buffer_id,
+            cookie="learning",
+        )
+
+    def learned_port(self, switch: OpenFlowSwitch | str, mac: MACAddress | str) -> Optional[int]:
+        """Return the port ``mac`` was learned on for ``switch`` (testing hook)."""
+        name = switch if isinstance(switch, str) else switch.name
+        return self._mac_tables.get(name, {}).get(MACAddress(mac))

@@ -1,0 +1,261 @@
+"""Priority flow tables with timeouts and counters.
+
+"The flow table in an OpenFlow switch maps from the 10-tuple definition
+of a flow to an action to be taken on packets belonging to that flow"
+(§3.1).  Decisions made by the controller are *cached* here, so the flow
+table is also the ident++ decision cache whose effectiveness experiment
+E11 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, Optional, Sequence
+
+from repro.exceptions import FlowTableError
+from repro.netsim.packet import Packet
+from repro.openflow.actions import Action
+from repro.openflow.match import Match
+
+#: Default priority for controller-installed entries.
+DEFAULT_PRIORITY = 100
+
+
+@dataclass
+class FlowEntry:
+    """One cached forwarding/drop decision.
+
+    Attributes:
+        match: The 10-tuple match (possibly wildcarded).
+        actions: Actions applied to matching packets; empty means drop.
+        priority: Higher priorities win; ties break on match specificity
+            then insertion order.
+        idle_timeout: Seconds of inactivity after which the entry expires
+            (0 disables idle expiry).
+        hard_timeout: Seconds after installation at which the entry
+            expires unconditionally (0 disables hard expiry).
+        cookie: Opaque controller-chosen identifier, used by the ident++
+            controller to tie entries back to policy decisions for audit
+            and revocation.
+    """
+
+    match: Match
+    actions: tuple[Action, ...] = ()
+    priority: int = DEFAULT_PRIORITY
+    idle_timeout: float = 0.0
+    hard_timeout: float = 0.0
+    cookie: str = ""
+    installed_at: float = 0.0
+    last_used_at: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+    sequence: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.actions, tuple):
+            self.actions = tuple(self.actions)
+        if self.idle_timeout < 0 or self.hard_timeout < 0:
+            raise FlowTableError("timeouts must be non-negative")
+
+    def record_use(self, packet: Packet, now: float) -> None:
+        """Update counters when a packet hits this entry."""
+        self.packet_count += 1
+        self.byte_count += packet.wire_size()
+        self.last_used_at = now
+
+    def is_expired(self, now: float) -> bool:
+        """Return ``True`` if either timeout has elapsed."""
+        if self.hard_timeout and now - self.installed_at >= self.hard_timeout:
+            return True
+        if self.idle_timeout and now - self.last_used_at >= self.idle_timeout:
+            return True
+        return False
+
+    def __str__(self) -> str:
+        from repro.openflow.actions import describe_actions
+
+        return (
+            f"FlowEntry(prio={self.priority}, {self.match}, "
+            f"actions=[{describe_actions(self.actions)}], pkts={self.packet_count})"
+        )
+
+
+class FlowTable:
+    """The flow table of one switch."""
+
+    def __init__(self, name: str = "flow-table", capacity: Optional[int] = None) -> None:
+        self.name = name
+        self.capacity = capacity
+        self._entries: list[FlowEntry] = []
+        self._sequence = 0
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    # ------------------------------------------------------------------
+    # Modification
+    # ------------------------------------------------------------------
+
+    def install(self, entry: FlowEntry, now: float = 0.0, *, replace: bool = True) -> FlowEntry:
+        """Install a flow entry.
+
+        When ``replace`` is true an existing entry with an identical match
+        and priority is overwritten (OpenFlow ``OFPFC_MODIFY`` semantics);
+        otherwise a duplicate raises :class:`FlowTableError`.
+
+        If the table has a capacity limit and is full, the least recently
+        used entry is evicted.
+        """
+        existing = self._find_same(entry.match, entry.priority)
+        if existing is not None:
+            if not replace:
+                raise FlowTableError(f"duplicate flow entry: {entry.match}")
+            self._entries.remove(existing)
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            self._evict_lru()
+        self._sequence += 1
+        entry.sequence = self._sequence
+        entry.installed_at = now
+        entry.last_used_at = now
+        self._entries.append(entry)
+        return entry
+
+    def remove(self, match: Match, *, strict: bool = False) -> int:
+        """Remove entries matching ``match``.
+
+        With ``strict`` only an entry with an identical match is removed;
+        otherwise every entry whose match is covered by ``match`` is
+        removed (OpenFlow delete semantics).  Returns the number removed.
+        """
+        if strict:
+            survivors = [e for e in self._entries if e.match != match]
+        else:
+            survivors = [e for e in self._entries if not match.covers(e.match)]
+        removed = len(self._entries) - len(survivors)
+        self._entries = survivors
+        return removed
+
+    def remove_by_cookie(self, cookie: str) -> int:
+        """Remove every entry with the given cookie (used for policy revocation)."""
+        survivors = [e for e in self._entries if e.cookie != cookie]
+        removed = len(self._entries) - len(survivors)
+        self._entries = survivors
+        return removed
+
+    def clear(self) -> None:
+        """Remove all entries."""
+        self._entries.clear()
+
+    def _find_same(self, match: Match, priority: int) -> Optional[FlowEntry]:
+        for entry in self._entries:
+            if entry.priority == priority and entry.match == match:
+                return entry
+        return None
+
+    def _evict_lru(self) -> None:
+        if not self._entries:
+            return
+        victim = min(self._entries, key=lambda e: (e.last_used_at, e.sequence))
+        self._entries.remove(victim)
+        self.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Lookup and expiry
+    # ------------------------------------------------------------------
+
+    def lookup(self, packet: Packet, in_port: Optional[int] = None, now: float = 0.0) -> Optional[FlowEntry]:
+        """Return the best matching entry for a packet, updating its counters.
+
+        "Best" is highest priority, then most specific match, then oldest
+        installation, which mirrors hardware behaviour closely enough for
+        the experiments.  Returns ``None`` on a table miss.
+        """
+        self.lookups += 1
+        best: Optional[FlowEntry] = None
+        best_key = None
+        for entry in self._entries:
+            if entry.is_expired(now):
+                continue
+            if not entry.match.matches(packet, in_port):
+                continue
+            key = (entry.priority, entry.match.specificity(), -entry.sequence)
+            if best_key is None or key > best_key:
+                best = entry
+                best_key = key
+        if best is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        best.record_use(packet, now)
+        return best
+
+    def expire(self, now: float) -> list[FlowEntry]:
+        """Remove and return entries whose timeouts have elapsed."""
+        expired = [e for e in self._entries if e.is_expired(now)]
+        if expired:
+            self._entries = [e for e in self._entries if not e.is_expired(now)]
+            self.expirations += len(expired)
+        return expired
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def entries(self) -> Iterator[FlowEntry]:
+        """Iterate over entries in priority (then recency) order."""
+        return iter(
+            sorted(
+                self._entries,
+                key=lambda e: (-e.priority, -e.match.specificity(), e.sequence),
+            )
+        )
+
+    def find(self, predicate: Callable[[FlowEntry], bool]) -> list[FlowEntry]:
+        """Return entries satisfying ``predicate``."""
+        return [entry for entry in self._entries if predicate(entry)]
+
+    def hit_rate(self) -> float:
+        """Return hits / lookups (0.0 when no lookups happened)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.hits / self.lookups
+
+    def stats(self) -> dict[str, float]:
+        """Return a summary dictionary used by benchmark E11."""
+        return {
+            "entries": float(len(self._entries)),
+            "lookups": float(self.lookups),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate(),
+            "evictions": float(self.evictions),
+            "expirations": float(self.expirations),
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, match: Match) -> bool:
+        return any(entry.match == match for entry in self._entries)
+
+
+def make_entry(
+    match: Match,
+    actions: Sequence[Action],
+    *,
+    priority: int = DEFAULT_PRIORITY,
+    idle_timeout: float = 0.0,
+    hard_timeout: float = 0.0,
+    cookie: str = "",
+) -> FlowEntry:
+    """Convenience constructor mirroring the FlowMod message fields."""
+    return FlowEntry(
+        match=match,
+        actions=tuple(actions),
+        priority=priority,
+        idle_timeout=idle_timeout,
+        hard_timeout=hard_timeout,
+        cookie=cookie,
+    )

@@ -1,0 +1,250 @@
+"""The OpenFlow switch datapath.
+
+An :class:`OpenFlowSwitch` forwards packets according to its flow table
+and punts table misses to its controller over a
+:class:`~repro.openflow.channel.ControllerChannel` (§3.1).  It buffers
+punted packets so the controller can later release them with a
+``packet_out`` or an entry-installing ``flow_mod`` carrying the buffer
+id — exactly the Figure 1 sequence.
+
+Two knobs exist for the security experiments:
+
+* ``fail_mode`` — what to do with a table miss when no controller is
+  reachable (``"secure"`` drops, ``"open"`` floods).
+* :meth:`mark_compromised` — a compromised switch "lets any traffic pass
+  through without regulation" (§5.2); it bypasses the flow table and
+  floods every packet.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.exceptions import OpenFlowError
+from repro.netsim.nodes import Node, Port
+from repro.netsim.packet import Packet
+from repro.netsim.statistics import Counter
+from repro.netsim.trace import PacketTrace
+from repro.openflow.actions import (
+    Action,
+    ControllerAction,
+    DropAction,
+    FloodAction,
+    OutputAction,
+)
+from repro.openflow.channel import ControllerChannel
+from repro.openflow.flow_table import FlowEntry, FlowTable
+from repro.openflow.messages import (
+    ControlMessage,
+    FlowMod,
+    FlowRemoved,
+    PacketIn,
+    PacketOut,
+    PortStatsReply,
+    StatsRequest,
+)
+
+
+class OpenFlowSwitch(Node):
+    """A flow-table-driven switch."""
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        table_capacity: Optional[int] = None,
+        fail_mode: str = "secure",
+        trace: Optional[PacketTrace] = None,
+    ) -> None:
+        super().__init__(name)
+        if fail_mode not in ("secure", "open"):
+            raise OpenFlowError(f"unknown fail mode: {fail_mode!r}")
+        self.flow_table = FlowTable(name=f"{name}.flow-table", capacity=table_capacity)
+        self.channel: Optional[ControllerChannel] = None
+        self.fail_mode = fail_mode
+        self.trace = trace
+        self.compromised = False
+        self._buffered: dict[int, tuple[Packet, int]] = {}
+        self.punts = Counter(f"{name}.punts")
+        self.drops = Counter(f"{name}.drops")
+        self.forwarded = Counter(f"{name}.forwarded")
+
+    # ------------------------------------------------------------------
+    # Control plane
+    # ------------------------------------------------------------------
+
+    def set_channel(self, channel: ControllerChannel) -> None:
+        """Attach the control channel (done by ``Controller.register_switch``)."""
+        self.channel = channel
+
+    def handle_message(self, message: ControlMessage) -> None:
+        """Process a controller → switch message."""
+        if isinstance(message, FlowMod):
+            self._handle_flow_mod(message)
+        elif isinstance(message, PacketOut):
+            self._handle_packet_out(message)
+        elif isinstance(message, StatsRequest):
+            self._handle_stats_request(message)
+        else:
+            raise OpenFlowError(f"switch {self.name} cannot handle {type(message).__name__}")
+
+    def _handle_flow_mod(self, message: FlowMod) -> None:
+        if message.is_delete():
+            from repro.openflow.messages import FlowModCommand
+
+            strict = message.command == FlowModCommand.DELETE_STRICT
+            self.flow_table.remove(message.match, strict=strict)
+            return
+        entry = FlowEntry(
+            match=message.match,
+            actions=tuple(message.actions),
+            priority=message.priority,
+            idle_timeout=message.idle_timeout,
+            hard_timeout=message.hard_timeout,
+            cookie=message.cookie,
+        )
+        self.flow_table.install(entry, now=self.now)
+        if message.buffer_id is not None:
+            self._release_buffer(message.buffer_id, entry.actions)
+
+    def _handle_packet_out(self, message: PacketOut) -> None:
+        if message.buffer_id is not None:
+            self._release_buffer(message.buffer_id, tuple(message.actions))
+            return
+        if message.packet is None:
+            raise OpenFlowError("PacketOut carries neither a buffer id nor a packet")
+        self._apply_actions(message.packet, tuple(message.actions), message.in_port)
+
+    def _handle_stats_request(self, message: StatsRequest) -> None:
+        stats: dict[int, dict[str, float]] = {}
+        for port in self.ports():
+            if message.port is not None and port.number != message.port:
+                continue
+            stats[port.number] = {
+                "tx_packets": float(port.tx_packets.value),
+                "rx_packets": float(port.rx_packets.value),
+                "tx_bytes": float(port.tx_bytes.value),
+                "rx_bytes": float(port.rx_bytes.value),
+            }
+        if self.channel is not None:
+            self.channel.send_to_controller(PortStatsReply(switch=self, stats=stats))
+
+    def _release_buffer(self, buffer_id: int, actions: tuple[Action, ...]) -> None:
+        buffered = self._buffered.pop(buffer_id, None)
+        if buffered is None:
+            return
+        packet, in_port = buffered
+        self._apply_actions(packet, actions, in_port)
+
+    def buffered_count(self) -> int:
+        """Return how many punted packets are still waiting for a controller verdict."""
+        return len(self._buffered)
+
+    # ------------------------------------------------------------------
+    # Datapath
+    # ------------------------------------------------------------------
+
+    def receive(self, packet: Packet, in_port: Port) -> None:
+        """Forward, drop or punt an arriving packet."""
+        super().receive(packet, in_port)
+        if self.compromised:
+            # §5.2: a compromised switch passes traffic without regulation.
+            self._record("forward", packet, note="compromised switch floods")
+            self.forwarded.increment()
+            self.flood(packet, exclude=in_port)
+            return
+        expired = self.flow_table.expire(self.now)
+        for entry in expired:
+            self._notify_removed(entry)
+        entry = self.flow_table.lookup(packet, in_port.number, now=self.now)
+        if entry is not None:
+            self._record("hit", packet, note=entry.cookie)
+            self._apply_actions(packet, entry.actions, in_port.number)
+            return
+        self._handle_table_miss(packet, in_port)
+
+    def _handle_table_miss(self, packet: Packet, in_port: Port) -> None:
+        if self.channel is not None and self.channel.connected:
+            message = PacketIn(switch=self, packet=packet, in_port=in_port.number)
+            self._buffered[message.buffer_id] = (packet, in_port.number)
+            self.punts.increment()
+            self._record("punt", packet)
+            self.channel.send_to_controller(message)
+            return
+        if self.fail_mode == "open":
+            self._record("forward", packet, note="fail-open flood")
+            self.forwarded.increment()
+            self.flood(packet, exclude=in_port)
+        else:
+            self._record("drop", packet, note="fail-secure, no controller")
+            self.drops.increment()
+
+    def _apply_actions(
+        self,
+        packet: Packet,
+        actions: Sequence[Action],
+        in_port: Optional[int],
+    ) -> None:
+        if not actions or all(isinstance(action, DropAction) for action in actions):
+            self.drops.increment()
+            self._record("drop", packet)
+            return
+        exclude = None
+        if in_port is not None:
+            try:
+                exclude = self.port(in_port)
+            except Exception:
+                exclude = None
+        for action in actions:
+            if isinstance(action, DropAction):
+                continue
+            if isinstance(action, OutputAction):
+                self.forwarded.increment()
+                self._record("forward", packet, note=f"port {action.port}")
+                self.send(packet, action.port)
+            elif isinstance(action, FloodAction):
+                self.forwarded.increment()
+                self._record("forward", packet, note="flood")
+                self.flood(packet, exclude=exclude)
+            elif isinstance(action, ControllerAction):
+                if self.channel is not None and self.channel.connected:
+                    message = PacketIn(
+                        switch=self, packet=packet, in_port=in_port if in_port is not None else 0,
+                        reason="action",
+                    )
+                    self._buffered[message.buffer_id] = (packet, in_port if in_port is not None else 0)
+                    self.punts.increment()
+                    self.channel.send_to_controller(message)
+            else:
+                raise OpenFlowError(f"switch {self.name} cannot apply {type(action).__name__}")
+
+    def _notify_removed(self, entry: FlowEntry) -> None:
+        if self.channel is not None and self.channel.connected:
+            self.channel.send_to_controller(
+                FlowRemoved(
+                    switch=self,
+                    match=entry.match,
+                    cookie=entry.cookie,
+                    packet_count=entry.packet_count,
+                    byte_count=entry.byte_count,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Security harness hooks
+    # ------------------------------------------------------------------
+
+    def mark_compromised(self) -> None:
+        """Put the switch in the §5.2 compromised state (unregulated forwarding)."""
+        self.compromised = True
+
+    def restore(self) -> None:
+        """Undo :meth:`mark_compromised`."""
+        self.compromised = False
+
+    def _record(self, event: str, packet: Packet, note: str = "") -> None:
+        if self.trace is not None:
+            self.trace.record(self.now, self.name, event, packet, note)
+
+    def __repr__(self) -> str:
+        return f"OpenFlowSwitch({self.name!r}, entries={len(self.flow_table)})"

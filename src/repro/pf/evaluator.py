@@ -1,0 +1,295 @@
+"""Rule evaluation: PF's last-match-wins semantics with ``quick`` and PF+=2 predicates.
+
+§3.3: "In vanilla PF, rules are read in top-down order, with the last
+matching rule being executed.  A matching rule can force its execution
+and bypass later rules if it contains the ``quick`` keyword."  When no
+rule matches at all, PF's default is to pass — which is why every
+configuration in the paper begins with an explicit ``block all``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.exceptions import PFEvalError
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.keyvalue import ResponseDocument
+from repro.netsim.addresses import AddressError, IPv4Address, IPv4Network
+from repro.pf.ast_nodes import (
+    ACTION_PASS,
+    AddressLiteral,
+    AnyAddress,
+    DictAccess,
+    EndpointSpec,
+    Expr,
+    Literal,
+    MacroRef,
+    Rule,
+    Ruleset,
+    TableRef,
+    TableRefExpr,
+)
+from repro.pf.functions import ArgValue, FunctionRegistry, default_registry
+from repro.pf.tables import TableSet
+
+#: Maximum nesting depth for ``allowed()`` evaluating delegated rule text
+#: that itself calls ``allowed()``.
+MAX_NESTED_DEPTH = 4
+
+
+@dataclass
+class EvalContext:
+    """Everything a rule needs to be evaluated against one flow."""
+
+    flow: Optional[FlowSpec]
+    src_doc: ResponseDocument
+    dst_doc: ResponseDocument
+    tables: TableSet
+    macros: dict[str, str]
+    dicts: dict[str, dict[str, str]]
+    registry: FunctionRegistry
+    extra: dict[str, object] = field(default_factory=dict)
+    depth: int = 0
+    max_depth: int = MAX_NESTED_DEPTH
+
+    # ------------------------------------------------------------------
+    # Value resolution
+    # ------------------------------------------------------------------
+
+    def dictionary_lookup(self, dict_name: str, key: str, *, concatenated: bool = False) -> Optional[str]:
+        """Resolve ``@name[key]`` / ``*@name[key]``.
+
+        ``@src`` and ``@dst`` read the ident++ response documents with the
+        latest-value (or, with ``*``, concatenation) semantics; any other
+        name reads a ``dict`` definition from the configuration.
+        """
+        if dict_name == "src":
+            document = self.src_doc
+        elif dict_name == "dst":
+            document = self.dst_doc
+        else:
+            named = self.dicts.get(dict_name)
+            if named is None:
+                raise PFEvalError(f"unknown dictionary @{dict_name}")
+            return named.get(key)
+        if concatenated:
+            value = document.concatenated(key)
+            return value if value else None
+        return document.latest(key)
+
+    def resolve_expr(self, expr: Expr) -> ArgValue:
+        """Resolve a function-call argument to a plain value."""
+        if isinstance(expr, DictAccess):
+            return self.dictionary_lookup(expr.dict_name, expr.key, concatenated=expr.concatenated)
+        if isinstance(expr, MacroRef):
+            value = self.macros.get(expr.name)
+            if value is None:
+                raise PFEvalError(f"unknown macro ${expr.name}")
+            return value
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, TableRefExpr):
+            return [str(network) for network in self.tables.resolve(expr.name).networks]
+        raise PFEvalError(f"cannot resolve expression {expr!r}")
+
+
+@dataclass
+class Verdict:
+    """The outcome of evaluating a ruleset against one flow."""
+
+    action: str
+    rule: Optional[Rule] = None
+    matched_rules: list[Rule] = field(default_factory=list)
+    rules_evaluated: int = 0
+    quick_terminated: bool = False
+    default_used: bool = False
+
+    @property
+    def is_pass(self) -> bool:
+        """Return ``True`` when the flow is allowed."""
+        return self.action == ACTION_PASS
+
+    @property
+    def keep_state(self) -> bool:
+        """Return ``True`` when the deciding rule asked for ``keep state``."""
+        return bool(self.rule is not None and self.rule.keep_state)
+
+    def explain(self) -> str:
+        """Return a one-line human-readable explanation (used in audit logs)."""
+        if self.rule is None:
+            return f"{self.action} (no rule matched; PF default)"
+        origin = f" [{self.rule.origin}]" if self.rule.origin else ""
+        return f"{self.action} by rule '{self.rule}'{origin}"
+
+
+class PolicyEvaluator:
+    """Evaluates a parsed :class:`~repro.pf.ast_nodes.Ruleset` against flows."""
+
+    def __init__(
+        self,
+        ruleset: Ruleset,
+        *,
+        registry: Optional[FunctionRegistry] = None,
+        default_action: str = ACTION_PASS,
+        name: str = "policy",
+    ) -> None:
+        self.name = name
+        self.ruleset = ruleset
+        self.registry = registry if registry is not None else default_registry()
+        self.default_action = default_action
+        self.tables = TableSet.from_definitions(ruleset.tables())
+        self.macros = ruleset.macros()
+        self.dicts = {n: dict(d.entries) for n, d in ruleset.dicts().items()}
+        self.evaluations = 0
+        self.rules_checked = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    def make_context(
+        self,
+        flow: Optional[FlowSpec],
+        src_doc: Optional[ResponseDocument] = None,
+        dst_doc: Optional[ResponseDocument] = None,
+        *,
+        extra: Optional[dict[str, object]] = None,
+        depth: int = 0,
+    ) -> EvalContext:
+        """Build the evaluation context for one flow."""
+        return EvalContext(
+            flow=flow,
+            src_doc=src_doc if src_doc is not None else ResponseDocument(),
+            dst_doc=dst_doc if dst_doc is not None else ResponseDocument(),
+            tables=self.tables,
+            macros=self.macros,
+            dicts=self.dicts,
+            registry=self.registry,
+            extra=dict(extra or {}),
+            depth=depth,
+        )
+
+    def evaluate(
+        self,
+        flow: Optional[FlowSpec],
+        src_doc: Optional[ResponseDocument] = None,
+        dst_doc: Optional[ResponseDocument] = None,
+        *,
+        extra: Optional[dict[str, object]] = None,
+        depth: int = 0,
+    ) -> Verdict:
+        """Run the ruleset against one flow and return the verdict."""
+        context = self.make_context(flow, src_doc, dst_doc, extra=extra, depth=depth)
+        return self.evaluate_with_context(context)
+
+    def evaluate_with_context(self, context: EvalContext) -> Verdict:
+        """Run the ruleset against an existing context (last match wins, ``quick`` stops)."""
+        self.evaluations += 1
+        matched: list[Rule] = []
+        deciding: Optional[Rule] = None
+        rules_evaluated = 0
+        quick_terminated = False
+        for rule in self.ruleset.rules():
+            rules_evaluated += 1
+            self.rules_checked += 1
+            if self._rule_matches(rule, context):
+                matched.append(rule)
+                deciding = rule
+                if rule.quick:
+                    quick_terminated = True
+                    break
+        if deciding is None:
+            return Verdict(
+                action=self.default_action,
+                rule=None,
+                matched_rules=[],
+                rules_evaluated=rules_evaluated,
+                default_used=True,
+            )
+        return Verdict(
+            action=deciding.action,
+            rule=deciding,
+            matched_rules=matched,
+            rules_evaluated=rules_evaluated,
+            quick_terminated=quick_terminated,
+        )
+
+    # ------------------------------------------------------------------
+    # Rule matching
+    # ------------------------------------------------------------------
+
+    def _rule_matches(self, rule: Rule, context: EvalContext) -> bool:
+        flow = context.flow
+        if flow is not None:
+            if not self._endpoint_matches(rule.src, flow.src_ip, flow.src_port, context):
+                return False
+            if not self._endpoint_matches(rule.dst, flow.dst_ip, flow.dst_port, context):
+                return False
+        elif not (rule.src.is_any() and rule.dst.is_any()):
+            # Without a flow only address-free rules can match.
+            return False
+        for condition in rule.conditions:
+            args = [context.resolve_expr(argument) for argument in condition.args]
+            if not context.registry.call(condition.name, context, args):
+                return False
+        return True
+
+    def _endpoint_matches(
+        self,
+        endpoint: EndpointSpec,
+        address: IPv4Address,
+        port: int,
+        context: EvalContext,
+    ) -> bool:
+        if endpoint.port is not None and endpoint.port != port:
+            return False
+        matches = self._address_matches(endpoint, address, context)
+        if endpoint.negated:
+            matches = not matches
+        return matches
+
+    def _address_matches(
+        self, endpoint: EndpointSpec, address: IPv4Address, context: EvalContext
+    ) -> bool:
+        spec = endpoint.address
+        if isinstance(spec, AnyAddress):
+            return True
+        if isinstance(spec, TableRef):
+            return context.tables.contains(spec.name, address)
+        if isinstance(spec, AddressLiteral):
+            return _literal_contains(spec.text, address)
+        if isinstance(spec, MacroRef):
+            value = context.macros.get(spec.name)
+            if value is None:
+                raise PFEvalError(f"unknown macro ${spec.name} used as an address")
+            return any(_literal_contains(part, address) for part in _split_list(value))
+        raise PFEvalError(f"unsupported endpoint address spec: {spec!r}")
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict[str, float]:
+        """Return evaluator counters (used by the throughput benchmark)."""
+        return {
+            "evaluations": float(self.evaluations),
+            "rules_checked": float(self.rules_checked),
+            "rules_in_policy": float(len(self.ruleset.rules())),
+        }
+
+
+def _literal_contains(text: str, address: IPv4Address) -> bool:
+    try:
+        if "/" in text:
+            return address in IPv4Network(text)
+        return IPv4Address(text) == address
+    except AddressError:
+        return False
+
+
+def _split_list(value: str) -> Sequence[str]:
+    text = value.strip()
+    if text.startswith("{") and text.endswith("}"):
+        text = text[1:-1]
+    return text.split()

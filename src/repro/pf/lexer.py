@@ -1,0 +1,145 @@
+"""Lexer for PF+=2.
+
+The lexer is deliberately newline-insensitive: the paper's configuration
+files make heavy use of trailing-backslash line continuations (every
+multi-line rule in Figures 2–8), so by the time rule text reaches the
+parser, line structure carries no meaning — rules are delimited by their
+leading ``pass`` / ``block`` action keywords instead.
+
+Comments run from ``#`` to end of line.  Quoted strings keep their inner
+whitespace (used by macros such as ``allowed = "{ http ssh }"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.exceptions import PFLexError
+
+# Token types.
+WORD = "WORD"
+STRING = "STRING"
+LANGLE = "LANGLE"
+RANGLE = "RANGLE"
+LBRACE = "LBRACE"
+RBRACE = "RBRACE"
+LPAREN = "LPAREN"
+RPAREN = "RPAREN"
+LBRACKET = "LBRACKET"
+RBRACKET = "RBRACKET"
+COMMA = "COMMA"
+COLON = "COLON"
+BANG = "BANG"
+EQUALS = "EQUALS"
+DOLLAR = "DOLLAR"
+AT = "AT"
+STAR = "STAR"
+EOF = "EOF"
+
+_SINGLE_CHAR_TOKENS = {
+    "<": LANGLE,
+    ">": RANGLE,
+    "{": LBRACE,
+    "}": RBRACE,
+    "(": LPAREN,
+    ")": RPAREN,
+    "[": LBRACKET,
+    "]": RBRACKET,
+    ",": COMMA,
+    ":": COLON,
+    "!": BANG,
+    "=": EQUALS,
+    "$": DOLLAR,
+    "@": AT,
+    "*": STAR,
+}
+
+#: Characters allowed inside a bare WORD token.  Covers identifiers,
+#: key names with dashes (``req-sig``, ``os-patch``), numbers, IPv4
+#: addresses and CIDR prefixes, signature/hash blobs, domain names and
+#: executable paths.
+_WORD_CHARS = set(
+    "abcdefghijklmnopqrstuvwxyz"
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+    "0123456789"
+    "._-/+"
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    type: str
+    value: str
+    line: int
+    column: int
+
+    def is_word(self, *values: str) -> bool:
+        """Return ``True`` if this is a WORD token equal to any of ``values`` (case-insensitive)."""
+        return self.type == WORD and self.value.lower() in {v.lower() for v in values}
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r}, line {self.line})"
+
+
+def _strip_continuations(text: str) -> str:
+    """Replace backslash-newline continuations with plain spaces."""
+    return text.replace("\\\r\n", " ").replace("\\\n", " ")
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenise PF+=2 source text.
+
+    Raises :class:`~repro.exceptions.PFLexError` on characters that
+    cannot start a token.
+    """
+    return list(_tokenize_iter(_strip_continuations(text)))
+
+
+def _tokenize_iter(text: str) -> Iterator[Token]:
+    line = 1
+    column = 1
+    index = 0
+    length = len(text)
+    while index < length:
+        char = text[index]
+        if char == "\n":
+            line += 1
+            column = 1
+            index += 1
+            continue
+        if char in " \t\r":
+            index += 1
+            column += 1
+            continue
+        if char == "#":
+            # Comment to end of line.
+            while index < length and text[index] != "\n":
+                index += 1
+            continue
+        if char == '"':
+            end = text.find('"', index + 1)
+            if end == -1:
+                raise PFLexError("unterminated string literal", line, column)
+            value = text[index + 1 : end]
+            yield Token(STRING, value, line, column)
+            column += end - index + 1
+            index = end + 1
+            continue
+        if char in _SINGLE_CHAR_TOKENS:
+            yield Token(_SINGLE_CHAR_TOKENS[char], char, line, column)
+            index += 1
+            column += 1
+            continue
+        if char in _WORD_CHARS:
+            start = index
+            while index < length and text[index] in _WORD_CHARS:
+                index += 1
+            value = text[start:index]
+            yield Token(WORD, value, line, column)
+            column += index - start
+            continue
+        raise PFLexError(f"unexpected character {char!r}", line, column)
+    yield Token(EOF, "", line, column)

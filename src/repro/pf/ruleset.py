@@ -1,0 +1,145 @@
+"""Loading ``.control`` configuration files.
+
+§3.4: "The controller's configuration files reside in a well known
+location and have the ``.control`` extension.  The files are read in
+alphabetical order and their contents are concatenated.  Some of these
+configuration files can be written by the administrator, while others
+can be provided by application developers or third-party security
+companies."
+
+:class:`RulesetLoader` implements exactly that: files are registered by
+name (from memory or from a directory on disk), sorted alphabetically,
+parsed and concatenated into a single :class:`~repro.pf.ast_nodes.Ruleset`.
+The alphabetical convention is what makes the Figure 2 layout work:
+``00-local-header.control`` (defaults and the ``block all``),
+``50-skype.control`` (application-supplied rules) and
+``99-local-footer.control`` (administrator constraints that must come
+last so they win under last-match semantics).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Optional
+
+from repro.exceptions import PolicyError
+from repro.pf.ast_nodes import Ruleset
+from repro.pf.parser import parse_ruleset
+
+#: The configuration file extension the controller looks for.
+CONTROL_EXTENSION = ".control"
+
+
+@dataclass
+class ControlFile:
+    """One named configuration file."""
+
+    name: str
+    text: str
+    provenance: str = "administrator"
+
+    def parse(self) -> Ruleset:
+        """Parse this file's contents."""
+        return parse_ruleset(self.text, origin=self.name)
+
+
+class RulesetLoader:
+    """Collects ``.control`` files and concatenates them in alphabetical order."""
+
+    def __init__(self) -> None:
+        self._files: dict[str, ControlFile] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+
+    def add_file(self, name: str, text: str, *, provenance: str = "administrator") -> ControlFile:
+        """Register a configuration file by name.
+
+        Re-registering a name replaces the previous contents (the way
+        overwriting the file on disk would).
+        """
+        if not name.endswith(CONTROL_EXTENSION):
+            name = name + CONTROL_EXTENSION
+        control_file = ControlFile(name=name, text=text, provenance=provenance)
+        self._files[name] = control_file
+        return control_file
+
+    def add_files(self, files: dict[str, str], *, provenance: str = "administrator") -> None:
+        """Register several files at once."""
+        for name, text in files.items():
+            self.add_file(name, text, provenance=provenance)
+
+    def remove_file(self, name: str) -> bool:
+        """Unregister a file (e.g. withdrawing a third party's rules). Returns ``True`` if present."""
+        if not name.endswith(CONTROL_EXTENSION):
+            name = name + CONTROL_EXTENSION
+        return self._files.pop(name, None) is not None
+
+    def load_directory(self, path: str) -> int:
+        """Load every ``*.control`` file from a directory on disk.
+
+        Returns the number of files loaded.  Missing directories raise
+        :class:`~repro.exceptions.PolicyError`.
+        """
+        if not os.path.isdir(path):
+            raise PolicyError(f"not a configuration directory: {path}")
+        count = 0
+        for entry in sorted(os.listdir(path)):
+            if not entry.endswith(CONTROL_EXTENSION):
+                continue
+            full_path = os.path.join(path, entry)
+            with open(full_path, "r", encoding="utf-8") as handle:
+                self.add_file(entry, handle.read(), provenance=f"file:{full_path}")
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def file_names(self) -> list[str]:
+        """Return registered file names in the order they will be concatenated."""
+        return sorted(self._files)
+
+    def files(self) -> Iterator[ControlFile]:
+        """Iterate over files in concatenation (alphabetical) order."""
+        for name in self.file_names():
+            yield self._files[name]
+
+    def get(self, name: str) -> Optional[ControlFile]:
+        """Return a registered file by name."""
+        if not name.endswith(CONTROL_EXTENSION):
+            name = name + CONTROL_EXTENSION
+        return self._files.get(name)
+
+    def __len__(self) -> int:
+        return len(self._files)
+
+    # ------------------------------------------------------------------
+    # Building
+    # ------------------------------------------------------------------
+
+    def build(self) -> Ruleset:
+        """Parse and concatenate every registered file, alphabetically."""
+        combined = Ruleset(name="+".join(self.file_names()))
+        for control_file in self.files():
+            combined.extend(control_file.parse())
+        return combined
+
+    def concatenated_text(self) -> str:
+        """Return the raw concatenation of all files (useful for debugging)."""
+        return "\n".join(control_file.text for control_file in self.files())
+
+
+def build_ruleset(files: dict[str, str] | Iterable[tuple[str, str]]) -> Ruleset:
+    """One-shot helper: build a ruleset from ``{file name: contents}``."""
+    loader = RulesetLoader()
+    if isinstance(files, dict):
+        items = files.items()
+    else:
+        items = files
+    for name, text in items:
+        loader.add_file(name, text)
+    return loader.build()

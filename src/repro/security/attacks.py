@@ -1,0 +1,221 @@
+"""Attacker actions.
+
+Each method of :class:`Attacker` injects one of the §5 compromises into
+a running scenario and returns a :class:`CompromiseRecord` that can be
+undone, so a single scenario can be measured under many compromises.
+
+The actions deliberately model only what the paper grants the attacker:
+
+* a compromised **controller** disables all protection (§5.1),
+* a compromised **switch** forwards unregulated but does not yield the
+  controller (§5.2),
+* a compromised **end-host** controls its ident++ daemon and "can send
+  false ident++ responses", but cannot produce signatures with users'
+  private keys (§5.3),
+* a compromised **application** can masquerade as other applications of
+  the same user (via ptrace-style subversion) *unless* the administrator
+  isolated processes with the setgid trick, and abuses only that user's
+  network privileges (§5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.exceptions import AttackError
+from repro.hosts.endhost import EndHost
+from repro.identpp.daemon import IdentPPDaemon
+from repro.openflow.controller_base import Controller
+from repro.openflow.switch import OpenFlowSwitch
+from repro.security.threat_model import (
+    COMPONENT_CONTROLLER,
+    COMPONENT_END_HOST,
+    COMPONENT_SWITCH,
+    COMPONENT_USER_APPLICATION,
+    CompromiseScenario,
+)
+
+
+@dataclass
+class CompromiseRecord:
+    """One injected compromise plus the callable that undoes it."""
+
+    scenario: CompromiseScenario
+    undo: Callable[[], None] = field(repr=False, default=lambda: None)
+    details: dict[str, str] = field(default_factory=dict)
+
+    def revert(self) -> None:
+        """Undo the compromise (restores the component's honest behaviour)."""
+        self.undo()
+
+
+class Attacker:
+    """Injects compromises into scenario components."""
+
+    def __init__(self, name: str = "attacker") -> None:
+        self.name = name
+        self.compromises: list[CompromiseRecord] = []
+
+    # ------------------------------------------------------------------
+    # §5.1 controller
+    # ------------------------------------------------------------------
+
+    def compromise_controller(self, controller: Controller) -> CompromiseRecord:
+        """Take over the controller: every subsequent decision passes unaudited."""
+        controller.mark_compromised()
+
+        def undo() -> None:
+            controller.compromised = False
+
+        record = CompromiseRecord(
+            scenario=CompromiseScenario(COMPONENT_CONTROLLER, controller.name,
+                                        description="all protection disabled"),
+            undo=undo,
+        )
+        self.compromises.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # §5.2 switch
+    # ------------------------------------------------------------------
+
+    def compromise_switch(self, switch: OpenFlowSwitch) -> CompromiseRecord:
+        """Take over one switch: traffic through it is no longer regulated."""
+        switch.mark_compromised()
+
+        def undo() -> None:
+            switch.restore()
+
+        record = CompromiseRecord(
+            scenario=CompromiseScenario(COMPONENT_SWITCH, switch.name,
+                                        description="unregulated forwarding through this switch"),
+            undo=undo,
+        )
+        self.compromises.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # §5.3 end-host
+    # ------------------------------------------------------------------
+
+    def compromise_end_host(
+        self,
+        host: EndHost,
+        *,
+        superuser: bool = True,
+        spoofed_pairs: Optional[dict[str, str]] = None,
+    ) -> CompromiseRecord:
+        """Take over an end-host (and therefore its ident++ daemon).
+
+        ``spoofed_pairs`` is what the attacker-controlled daemon will
+        claim about every flow (defaults to claiming the most permissive
+        identity the attacker can plausibly fabricate).  Note what this
+        does *not* grant: signatures made with users' private keys, so
+        ``requirements``/``req-sig`` pairs cannot be forged — the spoofed
+        response simply will not verify.
+        """
+        daemon: Optional[IdentPPDaemon] = getattr(host, "identpp_daemon", None)
+        host.mark_compromised(superuser=superuser)
+        previous_spoof = daemon.spoofed_pairs if daemon is not None else None
+        if daemon is not None:
+            pairs = spoofed_pairs if spoofed_pairs is not None else {
+                "userID": "system",
+                "groupID": "system users research",
+                "name": "http",
+                "app-name": "http",
+                "version": "999",
+            }
+            daemon.spoof_responses(pairs)
+
+        def undo() -> None:
+            host.compromised = False
+            host.compromised_as_superuser = False
+            if daemon is not None:
+                daemon.spoof_responses(previous_spoof)
+
+        record = CompromiseRecord(
+            scenario=CompromiseScenario(COMPONENT_END_HOST, host.name, superuser=superuser,
+                                        description="daemon sends false responses"),
+            undo=undo,
+            details={"spoofed": "yes" if daemon is not None else "no daemon"},
+        )
+        self.compromises.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # §5.4 user application
+    # ------------------------------------------------------------------
+
+    def compromise_application(
+        self,
+        host: EndHost,
+        app_name: str,
+        user_name: str,
+        *,
+        masquerade_as: Optional[str] = None,
+    ) -> CompromiseRecord:
+        """Take over one application run by one user.
+
+        The attacker gains that user's network privileges.  If the target
+        process (the one being masqueraded as) is *not* setgid-isolated,
+        the compromised process can ptrace its way into claiming that
+        application's identity; with isolation the masquerade fails and
+        the daemon keeps reporting the actually compromised application.
+        """
+        application = host.applications.by_name(app_name)
+        if application is None:
+            raise AttackError(f"host {host.name} does not have application {app_name!r}")
+        user = host.users.user(user_name)
+        process = host.processes.spawn(user, application)
+        process.compromised = True
+
+        masquerade_allowed = False
+        if masquerade_as is not None:
+            target_app = host.applications.by_name(masquerade_as)
+            if target_app is not None:
+                victims = [
+                    p for p in host.processes.by_application(masquerade_as)
+                    if p.user.name == user_name
+                ]
+                blocked = any(not victim.can_be_ptraced_by(process) for victim in victims)
+                if not victims or not blocked:
+                    # Either no running instance to subvert is isolated, so the
+                    # attacker execs + ptraces its way to the identity (§5.4).
+                    process.runtime_keys.update({
+                        "name": target_app.name,
+                        "app-name": target_app.name,
+                        "version": target_app.version,
+                    })
+                    masquerade_allowed = True
+
+        def undo() -> None:
+            if process.pid in host.processes:
+                host.processes.kill(process.pid)
+
+        record = CompromiseRecord(
+            scenario=CompromiseScenario(COMPONENT_USER_APPLICATION, f"{host.name}:{app_name}",
+                                        description=f"running as {user_name}"),
+            undo=undo,
+            details={
+                "user": user_name,
+                "masquerade_as": masquerade_as or "",
+                "masquerade_succeeded": "yes" if masquerade_allowed else "no",
+                "pid": str(process.pid),
+            },
+        )
+        self.compromises.append(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Bookkeeping
+    # ------------------------------------------------------------------
+
+    def revert_all(self) -> None:
+        """Undo every injected compromise (most recent first)."""
+        for record in reversed(self.compromises):
+            record.revert()
+        self.compromises.clear()
+
+    def __len__(self) -> int:
+        return len(self.compromises)

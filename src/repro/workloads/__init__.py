@@ -1,0 +1,35 @@
+"""Workloads and scenario builders.
+
+* :mod:`repro.workloads.paper_configs` — the controller ``.control``
+  files and daemon ``@app`` configuration files of Figures 2–8,
+  reproduced verbatim (with real signatures substituted for the paper's
+  ``21oir...w3eda`` placeholders).
+* :mod:`repro.workloads.generators` — deterministic flow/traffic
+  generators (uniform and Zipf-popularity flow mixes) used by the
+  cache and throughput benchmarks.
+* :mod:`repro.workloads.enterprise` — builders for the canonical
+  enterprise network, the two-branch (collaboration) network and the
+  partial-deployment network.
+* :mod:`repro.workloads.scenarios` — one scenario class per experiment
+  (E1–E9), each exposing ``run()``/``results()`` used by the examples,
+  the integration tests and the benchmark harness.
+"""
+
+from repro.workloads.generators import FlowGenerator, FlowTemplate, zipf_weights
+from repro.workloads.enterprise import (
+    build_branch_network,
+    build_enterprise_network,
+    build_linear_network,
+)
+from repro.workloads import paper_configs, scenarios
+
+__all__ = [
+    "FlowGenerator",
+    "FlowTemplate",
+    "zipf_weights",
+    "build_branch_network",
+    "build_enterprise_network",
+    "build_linear_network",
+    "paper_configs",
+    "scenarios",
+]

@@ -1,0 +1,216 @@
+"""Reusable network builders.
+
+Three topology shapes cover every experiment:
+
+* a **linear** client–switch(es)–server chain (Figure 1 / flow-setup
+  latency),
+* the canonical **enterprise** network: an access switch for the client
+  LAN (192.168.0.0/24), a server switch (192.168.1.0/24), a research
+  subnet (192.168.2.0/24), a production subnet (192.168.3.0/24) and an
+  edge switch toward the Internet (203.0.113.0/24),
+* the **two-branch** network of the collaboration experiment: two
+  enterprise sites joined by a single bottleneck link, each with its own
+  controller.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.controller import ControllerConfig, IdentPPController
+from repro.core.network import HostSpec, IdentPPNetwork
+from repro.netsim.links import DEFAULT_LATENCY
+
+
+#: Address plan used by the enterprise builders.
+LAN_SUBNET = "192.168.0.0/24"
+SERVER_SUBNET = "192.168.1.0/24"
+RESEARCH_SUBNET = "192.168.2.0/24"
+PRODUCTION_SUBNET = "192.168.3.0/24"
+INTERNET_SUBNET = "203.0.113.0/24"
+BRANCH_A_SUBNET = "10.1.0.0/16"
+BRANCH_B_SUBNET = "10.2.0.0/16"
+
+
+@dataclass
+class EnterpriseNetwork:
+    """The canonical enterprise network plus handles to its named parts."""
+
+    net: IdentPPNetwork
+    clients: list[str] = field(default_factory=list)
+    servers: list[str] = field(default_factory=list)
+    research_hosts: list[str] = field(default_factory=list)
+    production_hosts: list[str] = field(default_factory=list)
+    internet_hosts: list[str] = field(default_factory=list)
+
+    @property
+    def controller(self) -> IdentPPController:
+        """Return the primary controller."""
+        return self.net.controller
+
+
+def build_linear_network(
+    switch_count: int = 1,
+    *,
+    link_latency: float = DEFAULT_LATENCY,
+    controller_config: Optional[ControllerConfig] = None,
+    client_daemon: bool = True,
+    server_daemon: bool = True,
+) -> IdentPPNetwork:
+    """Build ``client — sw1 — ... — swN — server`` (the Figure 1 shape)."""
+    net = IdentPPNetwork("linear", link_latency=link_latency, controller_config=controller_config)
+    switches = [net.add_switch(f"sw{i + 1}") for i in range(max(1, switch_count))]
+    for left, right in zip(switches, switches[1:]):
+        net.connect(left, right)
+    net.add_host(
+        HostSpec(name="client", ip="192.168.0.10", users={"alice": ("users", "staff")},
+                 run_daemon=client_daemon),
+        switch=switches[0],
+    )
+    server = net.add_host(
+        HostSpec(name="server", ip="192.168.1.1", users={"www": ("service",)},
+                 run_daemon=server_daemon),
+        switch=switches[-1],
+    )
+    server.run_server("httpd", "root", 80)
+    return net
+
+
+def build_enterprise_network(
+    *,
+    clients: int = 4,
+    research_hosts: int = 2,
+    controller_config: Optional[ControllerConfig] = None,
+    link_latency: float = DEFAULT_LATENCY,
+) -> EnterpriseNetwork:
+    """Build the canonical enterprise network used by most scenarios."""
+    net = IdentPPNetwork("enterprise", link_latency=link_latency, controller_config=controller_config)
+    access = net.add_switch("sw-access")
+    core = net.add_switch("sw-core")
+    server_sw = net.add_switch("sw-servers")
+    research_sw = net.add_switch("sw-research")
+    edge = net.add_switch("sw-edge")
+    net.connect(access, core)
+    net.connect(server_sw, core)
+    net.connect(research_sw, core)
+    net.connect(edge, core)
+
+    result = EnterpriseNetwork(net=net)
+
+    for index in range(clients):
+        name = f"client{index + 1}"
+        user = f"user{index + 1}"
+        net.add_host(
+            HostSpec(name=name, ip=f"192.168.0.{10 + index}",
+                     users={user: ("users", "staff"), "alice": ("users", "staff")}),
+            switch=access,
+        )
+        result.clients.append(name)
+
+    server = net.add_host(
+        HostSpec(name="file-server", ip="192.168.1.1",
+                 users={"smtp": ("service",)},
+                 host_facts={"os-patch": "MS08-067 MS08-068", "os-name": "windows-2008"}),
+        switch=server_sw,
+    )
+    server.run_server("Server", "system", 445)
+    server.run_server("httpd", "root", 80)
+    server.run_server("sshd", "root", 22)
+    result.servers.append("file-server")
+
+    mail = net.add_host(
+        HostSpec(name="mail-server", ip="192.168.1.25", users={"smtp": ("service",)}),
+        switch=server_sw,
+    )
+    mail.run_server("smtp-server", "root", 25)
+    result.servers.append("mail-server")
+
+    for index in range(research_hosts):
+        name = f"research{index + 1}"
+        net.add_host(
+            HostSpec(name=name, ip=f"192.168.2.{10 + index}",
+                     users={f"researcher{index + 1}": ("research", "users")}),
+            switch=research_sw,
+        )
+        result.research_hosts.append(name)
+
+    production = net.add_host(
+        HostSpec(name="production1", ip="192.168.3.10", users={"ops": ("production",)}),
+        switch=research_sw,
+    )
+    production.run_server("httpd", "root", 80)
+    result.production_hosts.append("production1")
+
+    internet = net.add_host(
+        HostSpec(name="internet-host", ip="203.0.113.50",
+                 users={"mallory": ("internet",)}, run_daemon=False),
+        switch=edge,
+    )
+    result.internet_hosts.append("internet-host")
+    del internet
+    return result
+
+
+@dataclass
+class BranchNetwork:
+    """The two-branch collaboration topology."""
+
+    net: IdentPPNetwork
+    controller_a: IdentPPController
+    controller_b: IdentPPController
+    branch_a_hosts: list[str]
+    branch_b_hosts: list[str]
+    bottleneck_link_name: str
+
+
+def build_branch_network(
+    *,
+    hosts_per_branch: int = 3,
+    bottleneck_latency: float = 5e-3,
+    bottleneck_bandwidth: float = 10e6,
+    controller_config: Optional[ControllerConfig] = None,
+) -> BranchNetwork:
+    """Build two branches of one enterprise joined by a bottleneck WAN link.
+
+    Branch A keeps the network's primary controller; branch B gets its
+    own controller, which is the one that augments ident++ responses in
+    the collaboration experiment.
+    """
+    net = IdentPPNetwork("branches", controller_config=controller_config)
+    controller_a = net.controller
+    controller_b = net.add_controller("branch-b.controller", config=controller_config)
+
+    switch_a = net.add_switch("sw-branch-a", controller=controller_a)
+    switch_b = net.add_switch("sw-branch-b", controller=controller_b)
+    bottleneck = net.connect(
+        switch_a, switch_b, latency=bottleneck_latency, bandwidth=bottleneck_bandwidth
+    )
+
+    branch_a_hosts = []
+    for index in range(hosts_per_branch):
+        name = f"a-host{index + 1}"
+        net.add_host(
+            HostSpec(name=name, ip=f"10.1.0.{10 + index}", users={"alice": ("users", "staff")}),
+            switch=switch_a,
+        )
+        branch_a_hosts.append(name)
+
+    branch_b_hosts = []
+    for index in range(hosts_per_branch):
+        name = f"b-host{index + 1}"
+        host = net.add_host(
+            HostSpec(name=name, ip=f"10.2.0.{10 + index}", users={"bob": ("users", "staff")}),
+            switch=switch_b,
+        )
+        host.run_server("httpd", "root", 80)
+        branch_b_hosts.append(name)
+
+    return BranchNetwork(
+        net=net,
+        controller_a=controller_a,
+        controller_b=controller_b,
+        branch_a_hosts=branch_a_hosts,
+        branch_b_hosts=branch_b_hosts,
+        bottleneck_link_name=bottleneck.name,
+    )

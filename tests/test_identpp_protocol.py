@@ -1,0 +1,204 @@
+"""Tests for the ident++ protocol: flow specs, key/value documents, wire format."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import WireFormatError
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.keyvalue import KeyValueSection, ResponseDocument
+from repro.identpp.wire import (
+    IDENT_PP_PORT,
+    IdentQuery,
+    IdentResponse,
+    parse_query_packet,
+    parse_query_payload,
+    parse_response_payload,
+)
+from repro.netsim.packet import Packet
+
+
+class TestFlowSpec:
+    def test_from_packet(self):
+        packet = Packet.tcp("10.0.0.1", "10.0.0.2", 1234, 80)
+        flow = FlowSpec.from_packet(packet)
+        assert str(flow.src_ip) == "10.0.0.1"
+        assert flow.dst_port == 80
+        assert flow.proto_name() == "tcp"
+        assert flow.matches_packet(packet)
+
+    def test_reversed(self):
+        flow = FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1234, 80)
+        back = flow.reversed()
+        assert back.src_port == 80 and back.dst_port == 1234
+        assert back.reversed() == flow
+
+    def test_hashable(self):
+        a = FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1, 2)
+        b = FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1, 2)
+        assert a == b and len({a, b}) == 1
+
+    def test_udp_constructor(self):
+        assert FlowSpec.udp("1.1.1.1", "2.2.2.2", 53, 53).proto_name() == "udp"
+
+    def test_string_form(self):
+        assert str(FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1, 2)) == "tcp 1.1.1.1:1 -> 2.2.2.2:2"
+
+
+class TestKeyValueSections:
+    def test_section_last_duplicate_wins(self):
+        section = KeyValueSection()
+        section.add("name", "skype")
+        section.add("name", "http")
+        assert section.get("name") == "http"
+        assert section.keys() == ["name"]
+        assert len(section) == 2
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(WireFormatError):
+            KeyValueSection().add("  ", "value")
+
+    def test_latest_takes_last_section(self):
+        document = ResponseDocument()
+        document.add_section({"userID": "alice"}, source="daemon")
+        document.add_section({"userID": "trusted-override"}, source="controller")
+        assert document.latest("userID") == "trusted-override"
+
+    def test_concatenated_joins_all_sections(self):
+        document = ResponseDocument()
+        document.add_section({"userID": "alice"})
+        document.add_section({"userID": "alice"})
+        document.add_section({"userID": "mallory"})
+        assert document.concatenated("userID") == "alice alice mallory"
+        assert document.all_values("userID") == ["alice", "alice", "mallory"]
+
+    def test_missing_key(self):
+        document = ResponseDocument()
+        document.add_section({"a": "1"})
+        assert document.latest("missing") is None
+        assert document.concatenated("missing") == ""
+        assert not document.has_key("missing")
+
+    def test_empty_sections_not_stored(self):
+        document = ResponseDocument()
+        document.add_section({})
+        assert document.section_count() == 0
+        assert not document
+
+    def test_augment_appends_new_section(self):
+        document = ResponseDocument()
+        document.add_section({"userID": "alice"}, source="daemon")
+        document.augment({"remote-accept": "no"}, source="branch-b")
+        assert document.section_count() == 2
+        assert document.sources() == ["daemon", "branch-b"]
+
+    def test_body_round_trip(self):
+        document = ResponseDocument()
+        document.add_section({"userID": "alice", "name": "skype"})
+        document.add_section({"requirements": "block all pass all"})
+        restored = ResponseDocument.from_body(document.to_body())
+        assert restored.section_count() == 2
+        assert restored.latest("requirements") == "block all pass all"
+        assert restored.as_flat_dict() == document.as_flat_dict()
+
+    def test_malformed_body_rejected(self):
+        with pytest.raises(WireFormatError):
+            ResponseDocument.from_body("no colon here")
+
+    def test_copy_is_independent(self):
+        document = ResponseDocument()
+        document.add_section({"a": "1"})
+        clone = document.copy()
+        clone.augment({"b": "2"})
+        assert document.section_count() == 1 and clone.section_count() == 2
+
+    @given(st.dictionaries(
+        st.text(alphabet="abcdefghij-", min_size=1, max_size=8),
+        st.text(alphabet="abcdefghij0123456789 ", min_size=0, max_size=12).map(str.strip),
+        min_size=1, max_size=5,
+    ))
+    def test_property_body_round_trip(self, pairs):
+        document = ResponseDocument()
+        document.add_section(pairs)
+        restored = ResponseDocument.from_body(document.to_body())
+        assert restored.as_flat_dict() == {k: v for k, v in pairs.items()}
+
+
+class TestWireFormat:
+    def flow(self):
+        return FlowSpec.tcp("192.168.0.10", "192.168.1.1", 40000, 80)
+
+    def test_query_payload_format(self):
+        query = IdentQuery(flow=self.flow(), target_role="src", keys=("userID", "name"))
+        lines = query.to_payload().splitlines()
+        assert lines[0] == "TCP 40000 80"
+        assert lines[1:] == ["userID", "name"]
+
+    def test_query_packet_spoofs_source_ip(self):
+        query = IdentQuery(flow=self.flow(), target_role="src")
+        packet = query.to_packet()
+        # query to the flow's source carries the flow's destination as its source IP
+        assert str(packet.ip_src) == "192.168.1.1"
+        assert str(packet.ip_dst) == "192.168.0.10"
+        assert packet.tp_dst == IDENT_PP_PORT
+
+    def test_query_packet_to_destination(self):
+        query = IdentQuery(flow=self.flow(), target_role="dst")
+        packet = query.to_packet()
+        assert str(packet.ip_src) == "192.168.0.10"
+        assert str(packet.ip_dst) == "192.168.1.1"
+
+    def test_query_round_trip_via_packet(self):
+        query = IdentQuery(flow=self.flow(), target_role="src", keys=("userID",))
+        parsed = parse_query_packet(query.to_packet())
+        assert parsed.flow == self.flow()
+        assert parsed.keys == ("userID",)
+        assert parsed.target_role == "src"
+
+    def test_query_round_trip_destination_role(self):
+        query = IdentQuery(flow=self.flow(), target_role="dst")
+        parsed = parse_query_packet(query.to_packet())
+        assert parsed.flow == self.flow()
+
+    def test_unknown_role_rejected(self):
+        with pytest.raises(WireFormatError):
+            IdentQuery(flow=self.flow(), target_role="middle")
+
+    def test_parse_query_payload_defaults_keys(self):
+        parsed = parse_query_payload(
+            "TCP 40000 80", query_src_ip="192.168.1.1", query_dst_ip="192.168.0.10"
+        )
+        assert parsed.keys  # falls back to the default hint list
+
+    @pytest.mark.parametrize("payload", ["", "TCP 1", "TCP a b", "TCP 99999 80"])
+    def test_malformed_query_payload_rejected(self, payload):
+        with pytest.raises(WireFormatError):
+            parse_query_payload(payload, query_src_ip="1.1.1.1", query_dst_ip="2.2.2.2")
+
+    def test_non_identpp_packet_rejected(self):
+        with pytest.raises(WireFormatError):
+            parse_query_packet(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80))
+
+    def test_response_payload_round_trip(self):
+        document = ResponseDocument()
+        document.add_section({"userID": "alice", "name": "skype"}, source="daemon")
+        document.add_section({"remote-accept": "no"}, source="controller")
+        response = IdentResponse(flow=self.flow(), document=document, responder="host-a")
+        payload = response.to_payload()
+        assert payload.splitlines()[0] == "TCP 40000 80"
+        assert "" in payload.splitlines()  # blank line separates sections
+        parsed = parse_response_payload(payload, flow=self.flow())
+        assert parsed.document.latest("userID") == "alice"
+        assert parsed.document.section_count() == 2
+
+    def test_response_flow_mismatch_rejected(self):
+        response = IdentResponse(flow=self.flow(), document=ResponseDocument())
+        other_flow = FlowSpec.tcp("192.168.0.10", "192.168.1.1", 40000, 22)
+        with pytest.raises(WireFormatError):
+            parse_response_payload(response.to_payload(), flow=other_flow)
+
+    def test_response_to_packet_reverses_query(self):
+        query_packet = IdentQuery(flow=self.flow(), target_role="src").to_packet()
+        response = IdentResponse(flow=self.flow(), document=ResponseDocument(), responder="h")
+        reply = response.to_packet(query_packet)
+        assert reply.ip_dst == query_packet.ip_src
+        assert reply.tp_dst == IDENT_PP_PORT

@@ -1,0 +1,173 @@
+"""Unit and property-based tests for IPv4/MAC addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import AddressError
+from repro.netsim.addresses import BROADCAST_MAC, IPv4Address, IPv4Network, MACAddress
+
+
+class TestIPv4Address:
+    def test_parse_dotted_quad(self):
+        assert IPv4Address("192.168.42.32").to_int() == 3232246304
+
+    def test_round_trip_string(self):
+        assert str(IPv4Address("10.0.0.1")) == "10.0.0.1"
+
+    def test_from_int(self):
+        assert str(IPv4Address(0)) == "0.0.0.0"
+        assert str(IPv4Address(2**32 - 1)) == "255.255.255.255"
+
+    def test_copy_constructor(self):
+        original = IPv4Address("1.2.3.4")
+        assert IPv4Address(original) == original
+
+    def test_octets(self):
+        assert IPv4Address("1.2.3.4").octets() == (1, 2, 3, 4)
+
+    def test_to_bytes(self):
+        assert IPv4Address("1.2.3.4").to_bytes() == bytes([1, 2, 3, 4])
+
+    def test_equality_with_string_and_int(self):
+        assert IPv4Address("10.0.0.1") == "10.0.0.1"
+        assert IPv4Address("10.0.0.1") == IPv4Address("10.0.0.1").to_int()
+
+    def test_ordering(self):
+        assert IPv4Address("10.0.0.1") < IPv4Address("10.0.0.2")
+
+    def test_hashable_and_usable_as_dict_key(self):
+        table = {IPv4Address("10.0.0.1"): "host"}
+        assert table[IPv4Address("10.0.0.1")] == "host"
+
+    def test_addition(self):
+        assert IPv4Address("10.0.0.1") + 5 == IPv4Address("10.0.0.6")
+
+    def test_private_detection(self):
+        assert IPv4Address("192.168.1.1").is_private()
+        assert IPv4Address("10.1.2.3").is_private()
+        assert not IPv4Address("8.8.8.8").is_private()
+
+    def test_loopback_and_multicast(self):
+        assert IPv4Address("127.0.0.1").is_loopback()
+        assert IPv4Address("224.0.0.1").is_multicast()
+        assert not IPv4Address("192.168.0.1").is_multicast()
+
+    @pytest.mark.parametrize("bad", ["", "1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d", "1.2.3.-1"])
+    def test_invalid_strings_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address(bad)
+
+    @pytest.mark.parametrize("bad", [-1, 2**32])
+    def test_invalid_integers_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Address(bad)
+
+    def test_invalid_type_rejected(self):
+        with pytest.raises(AddressError):
+            IPv4Address(1.5)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_property_int_round_trip(self, value):
+        assert IPv4Address(str(IPv4Address(value))).to_int() == value
+
+
+class TestIPv4Network:
+    def test_contains_address(self):
+        network = IPv4Network("192.168.0.0/24")
+        assert IPv4Address("192.168.0.7") in network
+        assert IPv4Address("192.168.1.7") not in network
+
+    def test_contains_string(self):
+        assert "10.0.0.1" in IPv4Network("10.0.0.0/8")
+
+    def test_host_route(self):
+        network = IPv4Network("192.168.1.1")
+        assert network.prefix_len == 32
+        assert IPv4Address("192.168.1.1") in network
+        assert IPv4Address("192.168.1.2") not in network
+
+    def test_network_and_broadcast(self):
+        network = IPv4Network("10.0.0.0/30")
+        assert str(network.network_address) == "10.0.0.0"
+        assert str(network.broadcast_address) == "10.0.0.3"
+
+    def test_base_address_masked(self):
+        assert str(IPv4Network("192.168.1.77/24")) == "192.168.1.0/24"
+
+    def test_num_addresses(self):
+        assert IPv4Network("10.0.0.0/30").num_addresses() == 4
+        assert IPv4Network("0.0.0.0/0").num_addresses() == 2**32
+
+    def test_hosts_excludes_network_and_broadcast(self):
+        hosts = list(IPv4Network("10.0.0.0/30").hosts())
+        assert [str(h) for h in hosts] == ["10.0.0.1", "10.0.0.2"]
+
+    def test_hosts_for_point_to_point(self):
+        assert len(list(IPv4Network("10.0.0.0/31").hosts())) == 2
+
+    def test_network_containment(self):
+        assert IPv4Network("192.168.1.0/24") in IPv4Network("192.168.0.0/16")
+        assert IPv4Network("192.168.0.0/16") not in IPv4Network("192.168.1.0/24")
+
+    def test_overlaps(self):
+        assert IPv4Network("10.0.0.0/8").overlaps(IPv4Network("10.1.0.0/16"))
+        assert not IPv4Network("10.0.0.0/8").overlaps(IPv4Network("11.0.0.0/8"))
+
+    def test_equality_and_hash(self):
+        assert IPv4Network("10.0.0.0/8") == IPv4Network("10.0.0.0/8")
+        assert len({IPv4Network("10.0.0.0/8"), IPv4Network("10.0.0.0/8")}) == 1
+
+    @pytest.mark.parametrize("bad", ["10.0.0.0/33", "10.0.0.0/-1", "10.0.0.0/abc"])
+    def test_invalid_prefix_rejected(self, bad):
+        with pytest.raises(AddressError):
+            IPv4Network(bad)
+
+    def test_zero_prefix_contains_everything(self):
+        assert "255.255.255.255" in IPv4Network("0.0.0.0/0")
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=32))
+    def test_property_network_contains_its_own_base(self, value, prefix):
+        network = IPv4Network(f"{IPv4Address(value)}/{prefix}")
+        assert network.network_address in network
+        assert network.broadcast_address in network
+
+
+class TestMACAddress:
+    def test_parse_colon_form(self):
+        assert MACAddress("00:11:22:33:44:55").to_int() == 0x001122334455
+
+    def test_parse_dash_form(self):
+        assert MACAddress("00-11-22-33-44-55") == MACAddress("00:11:22:33:44:55")
+
+    def test_round_trip(self):
+        assert str(MACAddress("aa:bb:cc:dd:ee:ff")) == "aa:bb:cc:dd:ee:ff"
+
+    def test_from_index_unique_and_unicast(self):
+        first = MACAddress.from_index(1)
+        second = MACAddress.from_index(2)
+        assert first != second
+        assert not first.is_multicast()
+
+    def test_broadcast(self):
+        assert BROADCAST_MAC.is_broadcast()
+        assert BROADCAST_MAC.is_multicast()
+
+    def test_to_bytes_length(self):
+        assert len(MACAddress("aa:bb:cc:dd:ee:ff").to_bytes()) == 6
+
+    @pytest.mark.parametrize("bad", ["", "aa:bb:cc", "zz:bb:cc:dd:ee:ff", "aabbccddeeff"])
+    def test_invalid_rejected(self, bad):
+        with pytest.raises(AddressError):
+            MACAddress(bad)
+
+    def test_out_of_range_int_rejected(self):
+        with pytest.raises(AddressError):
+            MACAddress(2**48)
+
+    def test_from_index_out_of_range(self):
+        with pytest.raises(AddressError):
+            MACAddress.from_index(2**40)
+
+    @given(st.integers(min_value=0, max_value=2**48 - 1))
+    def test_property_string_round_trip(self, value):
+        assert MACAddress(str(MACAddress(value))).to_int() == value

@@ -1,0 +1,130 @@
+"""Tests for the discrete-event scheduler."""
+
+import pytest
+
+from repro.exceptions import SimulationError
+from repro.netsim.events import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(2.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.schedule(1.5, order.append, "middle")
+        sim.run()
+        assert order == ["early", "middle", "late"]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(1.0, order.append, "first")
+        sim.schedule(1.0, order.append, "second")
+        sim.run()
+        assert order == ["first", "second"]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(0.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [0.5]
+        assert sim.now == 0.5
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator(start_time=10.0)
+        fired = []
+        sim.schedule_at(12.5, fired.append, True)
+        sim.run()
+        assert fired and sim.now == 12.5
+
+    def test_events_scheduled_during_run_are_processed(self):
+        sim = Simulator()
+        order = []
+
+        def chain():
+            order.append("first")
+            sim.schedule(1.0, order.append, "second")
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert order == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_kwargs_passed_to_callback(self):
+        sim = Simulator()
+        received = {}
+        sim.schedule(0.0, lambda **kw: received.update(kw), value=42)
+        sim.run()
+        assert received == {"value": 42}
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_twice_is_harmless(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.run() == 0
+
+
+class TestRunLimits:
+    def test_run_until_stops_the_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(5.0, fired.append, "late")
+        sim.run(until=2.0)
+        assert fired == ["early"]
+        assert sim.now == 2.0
+        sim.run()
+        assert fired == ["early", "late"]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        for index in range(5):
+            sim.schedule(float(index), lambda: None)
+        assert sim.run(max_events=3) == 3
+        assert sim.pending() == 2
+
+    def test_run_returns_processed_count(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.run() == 2
+        assert sim.events_processed == 2
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def nested():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(0.0, nested)
+        sim.run()
+
+    def test_step_returns_none_when_empty(self):
+        assert Simulator().step() is None
+
+    def test_reset(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        sim.reset()
+        assert sim.now == 0.0
+        assert sim.pending() == 0

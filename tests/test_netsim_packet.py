@@ -1,0 +1,141 @@
+"""Tests for packets and their serialisation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import PacketError
+from repro.netsim.packet import (
+    ETH_TYPE_IP,
+    IP_PROTO_TCP,
+    IP_PROTO_UDP,
+    Packet,
+    proto_name,
+    proto_number,
+)
+
+
+class TestProtocolNames:
+    def test_known_names(self):
+        assert proto_name(6) == "tcp"
+        assert proto_name(17) == "udp"
+        assert proto_number("tcp") == 6
+        assert proto_number("UDP") == 17
+
+    def test_numeric_passthrough(self):
+        assert proto_number(47) == 47
+        assert proto_number("47") == 47
+        assert proto_name(47) == "47"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(PacketError):
+            proto_number("carrier-pigeon")
+
+
+class TestPacketConstruction:
+    def test_tcp_constructor(self):
+        packet = Packet.tcp("10.0.0.1", "10.0.0.2", 1234, 80, payload="hello")
+        assert packet.is_tcp() and packet.is_ip()
+        assert packet.five_tuple()[2] == IP_PROTO_TCP
+
+    def test_udp_constructor(self):
+        packet = Packet.udp("10.0.0.1", "10.0.0.2", 53, 53)
+        assert packet.is_udp()
+        assert packet.ip_proto == IP_PROTO_UDP
+
+    def test_proto_accepts_name(self):
+        packet = Packet(ip_src="1.1.1.1", ip_dst="2.2.2.2", ip_proto="udp")
+        assert packet.ip_proto == IP_PROTO_UDP
+
+    def test_port_out_of_range_rejected(self):
+        with pytest.raises(PacketError):
+            Packet.tcp("1.1.1.1", "2.2.2.2", 70000, 80)
+
+    def test_vlan_out_of_range_rejected(self):
+        with pytest.raises(PacketError):
+            Packet(vlan_id=5000)
+
+    def test_unique_packet_ids(self):
+        assert Packet().packet_id != Packet().packet_id
+
+    def test_non_ip_packet(self):
+        packet = Packet(eth_type=0x0806)
+        assert not packet.is_ip()
+        assert "eth" in str(packet)
+
+
+class TestPacketViews:
+    def test_five_tuple(self):
+        packet = Packet.tcp("10.0.0.1", "10.0.0.2", 1111, 80)
+        src, dst, proto, sport, dport = packet.five_tuple()
+        assert (str(src), str(dst), proto, sport, dport) == ("10.0.0.1", "10.0.0.2", 6, 1111, 80)
+
+    def test_reply_template_swaps_everything(self):
+        packet = Packet.tcp("10.0.0.1", "10.0.0.2", 1111, 80)
+        reply = packet.reply_template()
+        assert str(reply.ip_src) == "10.0.0.2"
+        assert str(reply.ip_dst) == "10.0.0.1"
+        assert reply.tp_src == 80 and reply.tp_dst == 1111
+
+    def test_copy_gets_new_id_and_independent_metadata(self):
+        packet = Packet.tcp("1.1.1.1", "2.2.2.2", 1, 2, metadata={"k": "v"})
+        clone = packet.copy()
+        assert clone.packet_id != packet.packet_id
+        clone.metadata["k"] = "changed"
+        assert packet.metadata["k"] == "v"
+
+    def test_copy_with_overrides(self):
+        packet = Packet.tcp("1.1.1.1", "2.2.2.2", 1, 2)
+        clone = packet.copy(tp_dst=443)
+        assert clone.tp_dst == 443 and packet.tp_dst == 2
+
+
+class TestWireSize:
+    def test_minimum_frame_size(self):
+        assert Packet.tcp("1.1.1.1", "2.2.2.2", 1, 2).wire_size() >= 64
+
+    def test_payload_size_override(self):
+        packet = Packet.tcp("1.1.1.1", "2.2.2.2", 1, 2, payload_size=1000)
+        assert packet.wire_size() >= 1000
+
+    def test_payload_text_counted(self):
+        small = Packet.tcp("1.1.1.1", "2.2.2.2", 1, 2, payload="x")
+        large = Packet.tcp("1.1.1.1", "2.2.2.2", 1, 2, payload="x" * 500)
+        assert large.wire_size() > small.wire_size()
+
+    def test_vlan_tag_adds_bytes(self):
+        untagged = Packet.tcp("1.1.1.1", "2.2.2.2", 1, 2, payload_size=200)
+        tagged = Packet.tcp("1.1.1.1", "2.2.2.2", 1, 2, payload_size=200, vlan_id=5)
+        assert tagged.wire_size() == untagged.wire_size() + 4
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        packet = Packet.tcp("10.1.2.3", "10.3.2.1", 1234, 80, payload="identpp")
+        restored = Packet.deserialize(packet.serialize())
+        assert restored.five_tuple() == packet.five_tuple()
+        assert restored.payload == b"identpp"
+
+    def test_truncated_data_rejected(self):
+        with pytest.raises(PacketError):
+            Packet.deserialize(b"\x00" * 10)
+
+    def test_truncated_payload_rejected(self):
+        data = Packet.tcp("1.1.1.1", "2.2.2.2", 1, 2, payload="long payload").serialize()
+        with pytest.raises(PacketError):
+            Packet.deserialize(data[:-4])
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=65535),
+        st.integers(min_value=0, max_value=65535),
+        st.binary(max_size=64),
+    )
+    def test_property_round_trip(self, src, dst, sport, dport, payload):
+        packet = Packet(
+            ip_src=src, ip_dst=dst, ip_proto=IP_PROTO_TCP,
+            tp_src=sport, tp_dst=dport, payload=payload, eth_type=ETH_TYPE_IP,
+        )
+        restored = Packet.deserialize(packet.serialize())
+        assert restored.five_tuple() == packet.five_tuple()
+        assert restored.payload_bytes() == payload

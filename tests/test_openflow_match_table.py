@@ -1,0 +1,204 @@
+"""Tests for the OpenFlow match structure and flow table."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.exceptions import FlowTableError, MatchError
+from repro.netsim.packet import IP_PROTO_TCP, Packet
+from repro.openflow.actions import DropAction, OutputAction, describe_actions, is_drop
+from repro.openflow.flow_table import FlowEntry, FlowTable, make_entry
+from repro.openflow.match import Match
+
+
+def tcp_packet(src="10.0.0.1", dst="10.0.0.2", sport=1234, dport=80):
+    return Packet.tcp(src, dst, sport, dport)
+
+
+class TestMatch:
+    def test_wildcard_matches_everything(self):
+        assert Match.wildcard().matches(tcp_packet())
+        assert Match.wildcard().matches(Packet(eth_type=0x0806))
+
+    def test_exact_match_from_packet(self):
+        packet = tcp_packet()
+        match = Match.from_packet(packet, in_port=3)
+        assert match.matches(packet, in_port=3)
+        assert not match.matches(packet, in_port=4)
+        assert match.is_exact()
+
+    def test_five_tuple_match_ignores_l2(self):
+        packet = tcp_packet()
+        match = Match.from_five_tuple(packet.ip_src, packet.ip_dst, packet.ip_proto,
+                                      packet.tp_src, packet.tp_dst)
+        other_mac = packet.copy(eth_src="02:00:00:00:00:99")
+        assert match.matches(other_mac)
+
+    def test_cidr_match(self):
+        match = Match(nw_src="10.0.0.0/24")
+        assert match.matches(tcp_packet(src="10.0.0.7"))
+        assert not match.matches(tcp_packet(src="10.0.1.7"))
+
+    def test_port_and_proto_fields(self):
+        match = Match(nw_proto=IP_PROTO_TCP, tp_dst=80)
+        assert match.matches(tcp_packet(dport=80))
+        assert not match.matches(tcp_packet(dport=22))
+        assert not match.matches(Packet(eth_type=0x0806))
+
+    def test_specificity_counts_fields(self):
+        assert Match.wildcard().specificity() == 0
+        assert Match(tp_dst=80, nw_proto=6).specificity() == 2
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(MatchError):
+            Match(tp_dst=70000)
+
+    def test_covers(self):
+        broad = Match(nw_dst="10.0.0.0/8")
+        narrow = Match(nw_dst="10.1.0.0/16")
+        assert broad.covers(narrow)
+        assert not narrow.covers(broad)
+        assert Match.wildcard().covers(narrow)
+        exact = Match(nw_dst="10.1.2.3", tp_dst=80)
+        assert broad.covers(exact)
+        assert not Match(tp_dst=22).covers(exact)
+
+    def test_string_form(self):
+        assert str(Match.wildcard()) == "Match(*)"
+        assert "tp_dst=80" in str(Match(tp_dst=80))
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1), st.integers(min_value=0, max_value=65535))
+    def test_property_from_packet_always_matches_itself(self, src, dport):
+        packet = Packet.tcp(src, src ^ 0xFFFF, 1000, dport)
+        assert Match.from_packet(packet, in_port=1).matches(packet, in_port=1)
+
+
+class TestActions:
+    def test_describe(self):
+        assert describe_actions([OutputAction(3)]) == "output:3"
+        assert describe_actions([]) == "drop(implicit)"
+
+    def test_is_drop(self):
+        assert is_drop([])
+        assert is_drop([DropAction()])
+        assert not is_drop([OutputAction(1)])
+
+
+class TestFlowTable:
+    def test_install_and_lookup(self):
+        table = FlowTable()
+        entry = make_entry(Match(tp_dst=80), [OutputAction(2)])
+        table.install(entry)
+        hit = table.lookup(tcp_packet(), in_port=1)
+        assert hit is entry
+        assert entry.packet_count == 1
+        assert table.hit_rate() == 1.0
+
+    def test_miss_counted(self):
+        table = FlowTable()
+        assert table.lookup(tcp_packet()) is None
+        assert table.misses == 1
+
+    def test_priority_wins(self):
+        table = FlowTable()
+        low = make_entry(Match(), [OutputAction(1)], priority=10)
+        high = make_entry(Match(tp_dst=80), [DropAction()], priority=200)
+        table.install(low)
+        table.install(high)
+        assert table.lookup(tcp_packet(dport=80)) is high
+        assert table.lookup(tcp_packet(dport=22)) is low
+
+    def test_specificity_breaks_priority_ties(self):
+        table = FlowTable()
+        broad = make_entry(Match(), [OutputAction(1)], priority=100)
+        narrow = make_entry(Match(tp_dst=80, nw_proto=6), [OutputAction(2)], priority=100)
+        table.install(broad)
+        table.install(narrow)
+        assert table.lookup(tcp_packet(dport=80)) is narrow
+
+    def test_replace_same_match_and_priority(self):
+        table = FlowTable()
+        table.install(make_entry(Match(tp_dst=80), [OutputAction(1)]))
+        table.install(make_entry(Match(tp_dst=80), [OutputAction(2)]))
+        assert len(table) == 1
+        with pytest.raises(FlowTableError):
+            table.install(make_entry(Match(tp_dst=80), [OutputAction(3)]), replace=False)
+
+    def test_idle_timeout_refreshed_by_traffic(self):
+        table = FlowTable()
+        entry = make_entry(Match(tp_dst=80), [OutputAction(1)], idle_timeout=10.0)
+        table.install(entry, now=0.0)
+        assert table.lookup(tcp_packet(dport=80), now=8.0) is entry
+        # the lookup refreshed the idle timer, so at t=12 the entry survives
+        assert table.expire(now=12.0) == []
+        # but 10 idle seconds after the last packet it goes away
+        assert table.expire(now=20.0) == [entry]
+
+    def test_idle_timeout_removes_entry(self):
+        table = FlowTable()
+        entry = make_entry(Match(tp_dst=80), [OutputAction(1)], idle_timeout=10.0)
+        table.install(entry, now=0.0)
+        expired = table.expire(now=11.0)
+        assert expired == [entry]
+        assert len(table) == 0
+        assert table.expirations == 1
+
+    def test_hard_timeout(self):
+        table = FlowTable()
+        entry = make_entry(Match(), [OutputAction(1)], hard_timeout=5.0)
+        table.install(entry, now=0.0)
+        # activity does not save it
+        table.lookup(tcp_packet(), now=4.9)
+        assert table.expire(now=5.1) == [entry]
+
+    def test_expired_entry_not_matched(self):
+        table = FlowTable()
+        table.install(make_entry(Match(), [OutputAction(1)], hard_timeout=5.0), now=0.0)
+        assert table.lookup(tcp_packet(), now=10.0) is None
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(FlowTableError):
+            FlowEntry(match=Match(), idle_timeout=-1.0)
+
+    def test_remove_covered(self):
+        table = FlowTable()
+        table.install(make_entry(Match(nw_dst="10.0.0.1", tp_dst=80), [OutputAction(1)]))
+        table.install(make_entry(Match(nw_dst="10.0.0.2", tp_dst=80), [OutputAction(1)]))
+        removed = table.remove(Match(nw_dst="10.0.0.0/24"))
+        assert removed == 2 and len(table) == 0
+
+    def test_remove_strict(self):
+        table = FlowTable()
+        exact = Match(nw_dst="10.0.0.1")
+        table.install(make_entry(exact, [OutputAction(1)]))
+        assert table.remove(Match(nw_dst="10.0.0.0/24"), strict=True) == 0
+        assert table.remove(exact, strict=True) == 1
+
+    def test_remove_by_cookie(self):
+        table = FlowTable()
+        table.install(make_entry(Match(tp_dst=80), [OutputAction(1)], cookie="decision-1"))
+        table.install(make_entry(Match(tp_dst=22), [OutputAction(1)], cookie="decision-2"))
+        assert table.remove_by_cookie("decision-1") == 1
+        assert len(table) == 1
+
+    def test_lru_eviction_at_capacity(self):
+        table = FlowTable(capacity=2)
+        first = make_entry(Match(tp_dst=80), [OutputAction(1)])
+        second = make_entry(Match(tp_dst=22), [OutputAction(1)])
+        table.install(first, now=0.0)
+        table.install(second, now=1.0)
+        table.lookup(tcp_packet(dport=80), now=2.0)  # refresh first
+        table.install(make_entry(Match(tp_dst=443), [OutputAction(1)]), now=3.0)
+        assert table.evictions == 1
+        assert Match(tp_dst=80) in table
+        assert Match(tp_dst=22) not in table
+
+    def test_entries_iteration_order(self):
+        table = FlowTable()
+        table.install(make_entry(Match(), [OutputAction(1)], priority=1))
+        table.install(make_entry(Match(tp_dst=80), [OutputAction(1)], priority=50))
+        priorities = [entry.priority for entry in table.entries()]
+        assert priorities == sorted(priorities, reverse=True)
+
+    def test_stats_keys(self):
+        stats = FlowTable().stats()
+        assert {"entries", "lookups", "hits", "misses", "hit_rate"} <= set(stats)

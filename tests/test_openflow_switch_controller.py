@@ -1,0 +1,226 @@
+"""Tests for the OpenFlow switch datapath, control channel and controllers."""
+
+import pytest
+
+from repro.exceptions import ChannelError
+from repro.netsim.nodes import Node
+from repro.netsim.packet import Packet
+from repro.netsim.topology import Topology
+from repro.openflow.actions import DropAction, FloodAction, OutputAction
+from repro.openflow.controller_base import Controller, LearningSwitchController
+from repro.openflow.match import Match
+from repro.openflow.messages import FlowMod, FlowModCommand, PacketIn, PacketOut, StatsRequest
+from repro.openflow.switch import OpenFlowSwitch
+
+
+class SinkNode(Node):
+    def __init__(self, name):
+        super().__init__(name)
+        self.received = []
+
+    def receive(self, packet, in_port):
+        super().receive(packet, in_port)
+        self.received.append(packet)
+
+
+class RecordingController(Controller):
+    """Controller that records packet-ins and applies a canned reaction."""
+
+    def __init__(self, reaction=None):
+        super().__init__("recording")
+        self.messages = []
+        self.reaction = reaction
+
+    def on_packet_in(self, message):
+        self.messages.append(message)
+        if self.reaction is not None:
+            self.reaction(self, message)
+
+
+def build_fabric(controller=None):
+    """host_a -- switch -- host_b with an optional controller attached."""
+    topo = Topology("fabric")
+    switch = topo.add_node(OpenFlowSwitch("sw1"))
+    host_a = topo.add_node(SinkNode("host-a"))
+    host_b = topo.add_node(SinkNode("host-b"))
+    topo.add_link(host_a, switch)
+    topo.add_link(host_b, switch)
+    if controller is not None:
+        controller.attach(topo.sim)
+        controller.register_switch(switch)
+    return topo, switch, host_a, host_b
+
+
+class TestSwitchDatapath:
+    def test_fail_secure_drops_on_miss_without_controller(self):
+        topo, switch, host_a, host_b = build_fabric()
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert host_b.received == []
+        assert switch.drops.value == 1
+
+    def test_fail_open_floods_on_miss_without_controller(self):
+        topo = Topology()
+        switch = topo.add_node(OpenFlowSwitch("sw1", fail_mode="open"))
+        host_a = topo.add_node(SinkNode("a"))
+        host_b = topo.add_node(SinkNode("b"))
+        topo.add_link(host_a, switch)
+        topo.add_link(host_b, switch)
+        host_a.send(Packet(), host_a.port(1))
+        topo.run()
+        assert len(host_b.received) == 1
+
+    def test_installed_entry_forwards(self):
+        topo, switch, host_a, host_b = build_fabric()
+        # host_b hangs off switch port 2
+        switch.handle_message(FlowMod(match=Match(tp_dst=80), actions=[OutputAction(2)]))
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert len(host_b.received) == 1
+        assert switch.forwarded.value == 1
+
+    def test_drop_entry_drops(self):
+        topo, switch, host_a, host_b = build_fabric()
+        switch.handle_message(FlowMod(match=Match(tp_dst=80), actions=[DropAction()]))
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert host_b.received == []
+
+    def test_miss_punts_and_buffers(self):
+        controller = RecordingController()
+        topo, switch, host_a, host_b = build_fabric(controller)
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert len(controller.messages) == 1
+        assert controller.messages[0].in_port == 1
+        assert switch.punts.value == 1
+        assert switch.buffered_count() == 1
+
+    def test_packet_out_releases_buffer(self):
+        def release(controller, message):
+            controller.send_packet_out(message.switch, actions=[OutputAction(2)],
+                                       buffer_id=message.buffer_id)
+
+        controller = RecordingController(reaction=release)
+        topo, switch, host_a, host_b = build_fabric(controller)
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert len(host_b.received) == 1
+        assert switch.buffered_count() == 0
+
+    def test_flow_mod_with_buffer_releases_and_caches(self):
+        def install(controller, message):
+            controller.install_flow(message.switch, Match.from_packet(message.packet),
+                                    [OutputAction(2)], buffer_id=message.buffer_id)
+
+        controller = RecordingController(reaction=install)
+        topo, switch, host_a, host_b = build_fabric(controller)
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert len(host_b.received) == 2
+        assert len(controller.messages) == 1  # second packet hit the cached entry
+
+    def test_flow_mod_delete(self):
+        topo, switch, *_ = build_fabric()
+        switch.handle_message(FlowMod(match=Match(tp_dst=80), actions=[OutputAction(2)]))
+        switch.handle_message(FlowMod(match=Match(), command=FlowModCommand.DELETE))
+        assert len(switch.flow_table) == 0
+
+    def test_compromised_switch_floods_everything(self):
+        topo, switch, host_a, host_b = build_fabric()
+        switch.handle_message(FlowMod(match=Match(), actions=[DropAction()]))
+        switch.mark_compromised()
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert len(host_b.received) == 1
+        switch.restore()
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert len(host_b.received) == 1
+
+    def test_stats_request(self):
+        replies = []
+
+        class StatsController(RecordingController):
+            def on_port_stats(self, message):
+                replies.append(message)
+
+        controller = StatsController()
+        topo, switch, host_a, host_b = build_fabric(controller)
+        controller.channel_for(switch).send_to_switch(StatsRequest())
+        topo.run()
+        assert replies and set(replies[0].stats) == {1, 2}
+
+    def test_packet_out_without_buffer_or_packet_rejected(self):
+        topo, switch, *_ = build_fabric()
+        with pytest.raises(Exception):
+            switch.handle_message(PacketOut(actions=[FloodAction()]))
+
+
+class TestControllerBase:
+    def test_duplicate_switch_registration_rejected(self):
+        controller = RecordingController()
+        topo, switch, *_ = build_fabric(controller)
+        with pytest.raises(ChannelError):
+            controller.register_switch(switch)
+
+    def test_unknown_switch_channel_rejected(self):
+        controller = RecordingController()
+        with pytest.raises(ChannelError):
+            controller.channel_for("ghost")
+
+    def test_disconnected_channel_drops_messages(self):
+        controller = RecordingController()
+        topo, switch, host_a, host_b = build_fabric(controller)
+        controller.channel_for(switch).disconnect()
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert controller.messages == []
+        # fail-secure switch dropped the packet instead
+        assert switch.drops.value == 1
+
+    def test_broadcast_flow(self):
+        controller = RecordingController()
+        topo = Topology()
+        switches = [topo.add_node(OpenFlowSwitch(f"sw{i}")) for i in range(3)]
+        controller.attach(topo.sim)
+        for switch in switches:
+            controller.register_switch(switch)
+        controller.broadcast_flow(Match(tp_dst=80), [DropAction()])
+        topo.run()
+        assert all(len(switch.flow_table) == 1 for switch in switches)
+
+    def test_counters(self):
+        def install(controller, message):
+            controller.install_flow(message.switch, Match.from_packet(message.packet),
+                                    [OutputAction(2)], buffer_id=message.buffer_id)
+
+        controller = RecordingController(reaction=install)
+        topo, switch, host_a, host_b = build_fabric(controller)
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert controller.packet_ins.value == 1
+        assert controller.flow_mods.value == 1
+
+
+class TestLearningSwitch:
+    def test_learns_and_installs_path(self):
+        controller = LearningSwitchController()
+        topo, switch, host_a, host_b = build_fabric(controller)
+        a_to_b = Packet(eth_src="02:00:00:00:00:01", eth_dst="02:00:00:00:00:02",
+                        ip_src="1.1.1.1", ip_dst="2.2.2.2", tp_src=1, tp_dst=2)
+        host_a.send(a_to_b, host_a.port(1))
+        topo.run()
+        # unknown destination: flooded, source learned
+        assert len(host_b.received) == 1
+        assert controller.learned_port(switch, "02:00:00:00:00:01") == 1
+
+        b_to_a = Packet(eth_src="02:00:00:00:00:02", eth_dst="02:00:00:00:00:01",
+                        ip_src="2.2.2.2", ip_dst="1.1.1.1", tp_src=2, tp_dst=1)
+        host_b.send(b_to_a, host_b.port(1))
+        topo.run()
+        assert len(host_a.received) == 1
+        # now a flow entry exists for b->a traffic
+        assert len(switch.flow_table) >= 1

@@ -1,0 +1,114 @@
+"""Tests for the enterprise/branch network builders and the paper config generators."""
+
+import pytest
+
+from repro.crypto.signatures import Signer
+from repro.hosts.applications import standard_applications
+from repro.identpp.daemon_config import parse_daemon_config
+from repro.workloads import paper_configs
+from repro.workloads.enterprise import (
+    build_branch_network,
+    build_enterprise_network,
+    build_linear_network,
+)
+
+
+class TestLinearBuilder:
+    def test_shape_and_daemons(self):
+        net = build_linear_network(switch_count=3)
+        assert set(net.switches) == {"sw1", "sw2", "sw3"}
+        assert net.topology.connected("client", "server")
+        assert set(net.hosts_with_daemons()) == {"client", "server"}
+
+    def test_daemonless_variant(self):
+        net = build_linear_network(switch_count=1, client_daemon=False)
+        assert "client" not in net.hosts_with_daemons()
+
+    def test_server_listens_on_http(self):
+        net = build_linear_network()
+        assert net.host("server").sockets.find_listener(80) is not None
+
+
+class TestEnterpriseBuilder:
+    def test_population(self):
+        enterprise = build_enterprise_network(clients=3, research_hosts=2)
+        assert len(enterprise.clients) == 3
+        assert len(enterprise.research_hosts) == 2
+        assert "file-server" in enterprise.servers
+        net = enterprise.net
+        # every named host resolves and is reachable from the clients
+        for name in enterprise.clients + enterprise.servers:
+            assert net.topology.connected(enterprise.clients[0], name)
+
+    def test_server_facts_and_services(self):
+        enterprise = build_enterprise_network(clients=1)
+        server = enterprise.net.host("file-server")
+        daemon = enterprise.net.daemon("file-server")
+        assert "MS08-067" in daemon.host_facts["os-patch"]
+        assert server.sockets.find_listener(445) is not None
+        assert server.sockets.find_listener(445).process.user.name == "system"
+
+    def test_internet_host_runs_no_daemon(self):
+        enterprise = build_enterprise_network(clients=1)
+        assert "internet-host" not in enterprise.net.hosts_with_daemons()
+
+
+class TestBranchBuilder:
+    def test_two_controllers_and_bottleneck(self):
+        branches = build_branch_network(hosts_per_branch=2)
+        assert branches.controller_a is not branches.controller_b
+        assert branches.controller_a.switches()[0].name == "sw-branch-a"
+        assert branches.controller_b.switches()[0].name == "sw-branch-b"
+        bottleneck = next(
+            link for link in branches.net.topology.links()
+            if link.name == branches.bottleneck_link_name
+        )
+        assert bottleneck.latency > branches.net.link_latency
+        # branch B hosts serve HTTP
+        assert branches.net.host(branches.branch_b_hosts[0]).sockets.find_listener(80)
+
+
+class TestPaperConfigGenerators:
+    def test_figure3_signature_verifies_against_reported_values(self):
+        signer = Signer("skype-vendor", seed=3)
+        skype = next(a for a in standard_applications() if a.name == "skype")
+        text = paper_configs.figure3_skype_daemon_config(skype, signer)
+        app_config = parse_daemon_config(text).app_for_path(skype.path)
+        assert signer.verify(
+            app_config.pairs["req-sig"],
+            [skype.exe_hash, skype.name, app_config.pairs["requirements"]],
+        )
+
+    def test_figure3_placeholder_without_signer(self):
+        skype = next(a for a in standard_applications() if a.name == "skype")
+        text = paper_configs.figure3_skype_daemon_config(skype)
+        assert "21oir...w3eda" in text
+
+    def test_figure4_signature_round_trip(self):
+        signer = Signer("research", seed=11)
+        app = next(a for a in standard_applications() if a.name == "research-app")
+        text = paper_configs.figure4_research_daemon_config(app, signer)
+        pairs = parse_daemon_config(text).app_for_path(app.path).pairs
+        assert signer.verify(pairs["req-sig"], [app.exe_hash, app.name, pairs["requirements"]])
+
+    def test_figure6_rule_maker_is_secur(self):
+        secur = Signer("Secur", seed=23)
+        app = next(a for a in standard_applications() if a.name == "thunderbird")
+        pairs = parse_daemon_config(
+            paper_configs.figure6_thunderbird_daemon_config(app, secur)
+        ).app_for_path(app.path).pairs
+        assert pairs["rule-maker"] == "Secur"
+        assert secur.verify(pairs["req-sig"], [app.exe_hash, app.name, pairs["requirements"]])
+
+    def test_figure5_control_uses_given_tables(self):
+        files = paper_configs.figure5_research_control(
+            "10001.abc", research_machines=("10.5.0.0/16",), production_machines=("10.6.0.0/16",)
+        )
+        combined = "\n".join(files.values())
+        assert "10.5.0.0/16" in combined and "10.6.0.0/16" in combined
+
+    def test_figure2_and_8_default_deny_first(self):
+        header = paper_configs.figure2_control_files()["00-local-header.control"]
+        assert "block all" in header
+        rules = paper_configs.figure8_control_files()["10-user-rules.control"]
+        assert rules.strip().splitlines()[1].startswith("block all")
