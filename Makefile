@@ -1,0 +1,13 @@
+PYTHON ?= python
+export PYTHONPATH := src
+
+.PHONY: test bench bench-experiments
+
+test:
+	$(PYTHON) -m pytest -q
+
+bench:
+	$(PYTHON) benchmarks/run_benchmarks.py
+
+bench-experiments:
+	$(PYTHON) -m pytest benchmarks/bench_*.py --benchmark-only -s

@@ -1,0 +1,228 @@
+#!/usr/bin/env python
+"""Run the hot-path benchmark suite and write ``BENCH_results.json``.
+
+Unlike the ``bench_*.py`` experiment reproductions (which run under
+pytest), this is a plain script so CI and future PRs have a stable,
+dependency-free perf trajectory to compare against::
+
+    python benchmarks/run_benchmarks.py          # or: make bench
+
+Each benchmark reports operations per second; the JSON file maps
+benchmark name -> {ops_per_sec, iterations, seconds}.  Derived ratios
+(e.g. the compiled-vs-interpreted speedup the PR acceptance criteria
+track) are included under ``derived``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.core.cache import DecisionCache  # noqa: E402
+from repro.core.policy_engine import PolicyEngine  # noqa: E402
+from repro.identpp.flowspec import FlowSpec  # noqa: E402
+from repro.identpp.keyvalue import ResponseDocument  # noqa: E402
+from repro.netsim.packet import Packet  # noqa: E402
+from repro.openflow.actions import OutputAction  # noqa: E402
+from repro.openflow.flow_table import FlowTable, make_entry  # noqa: E402
+from repro.openflow.match import Match  # noqa: E402
+from repro.pf.evaluator import PolicyEvaluator  # noqa: E402
+from repro.pf.parser import parse_ruleset  # noqa: E402
+from repro.workloads.generators import FlowGenerator, FlowTemplate  # noqa: E402
+from repro.workloads.paper_configs import figure2_control_files  # noqa: E402
+
+RESULTS_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_results.json")
+
+
+def _timeit(fn, *, min_seconds: float = 0.2, max_iterations: int = 200_000) -> dict:
+    """Time ``fn`` until ``min_seconds`` of wall clock have been spent."""
+    fn()  # warm-up (compilation, caches)
+    iterations = 0
+    elapsed = 0.0
+    batch = 1
+    while elapsed < min_seconds and iterations < max_iterations:
+        start = time.perf_counter()
+        for _ in range(batch):
+            fn()
+        elapsed += time.perf_counter() - start
+        iterations += batch
+        batch = min(batch * 2, 4096)
+    return {
+        "ops_per_sec": round(iterations / elapsed, 1),
+        "iterations": iterations,
+        "seconds": round(elapsed, 4),
+    }
+
+
+def _e10b_policy(rule_count: int) -> PolicyEvaluator:
+    lines = ["block all"]
+    for index in range(rule_count):
+        lines.append(
+            f"pass from any to 10.{index % 250}.0.0/16 port {1000 + index} "
+            f"with eq(@src[name], app{index})"
+        )
+    return PolicyEvaluator(parse_ruleset("\n".join(lines)), default_action="block")
+
+
+def _src_doc() -> ResponseDocument:
+    document = ResponseDocument()
+    document.add_section({"name": "app1", "userID": "alice"})
+    return document
+
+
+def bench_policy_evaluator(results: dict) -> None:
+    flow = FlowSpec.tcp("192.168.0.10", "10.1.2.3", 40000, 1001)
+    src = _src_doc()
+    for size in (10, 100, 500, 2000):
+        evaluator = _e10b_policy(size)
+        results[f"policy_eval_interpreted_{size}"] = _timeit(
+            lambda: evaluator.evaluate_interpreted(flow, src, None)
+        )
+        results[f"policy_eval_compiled_{size}"] = _timeit(
+            lambda: evaluator.evaluate(flow, src, None)
+        )
+    evaluator = _e10b_policy(2000)
+    batch = [(flow, src, None)] * 256
+
+    def run_batch() -> None:
+        evaluator.evaluate_batch(batch)
+
+    timing = _timeit(run_batch, min_seconds=0.2)
+    # report per-evaluation throughput, not per-batch
+    timing["ops_per_sec"] = round(timing["ops_per_sec"] * len(batch), 1)
+    timing["iterations"] = timing["iterations"] * len(batch)
+    results["policy_eval_batch_2000"] = timing
+    stats = evaluator.stats()
+    results["policy_eval_index_stats"] = {
+        "indexed_rules": stats["indexed_rules"],
+        "scan_bucket_rules": stats["scan_bucket_rules"],
+        "candidates_visited": stats["candidates_visited"],
+        "rules_checked": stats["rules_checked"],
+    }
+
+
+def bench_policy_engine(results: dict) -> None:
+    engine = PolicyEngine(default_action="block")
+    engine.add_control_files(figure2_control_files())
+    flow = FlowSpec.tcp("192.168.0.10", "192.168.1.1", 40000, 80)
+    src = ResponseDocument()
+    src.add_section({"name": "http"})
+    results["engine_decide_figure2"] = _timeit(lambda: engine.decide(flow, src, None))
+    items = [(flow, src, None)] * 128
+
+    def run_batch() -> None:
+        engine.decide_batch(items)
+
+    timing = _timeit(run_batch, min_seconds=0.2)
+    timing["ops_per_sec"] = round(timing["ops_per_sec"] * len(items), 1)
+    timing["iterations"] = timing["iterations"] * len(items)
+    results["engine_decide_batch_figure2"] = timing
+
+
+def bench_decision_cache(results: dict) -> None:
+    cache = DecisionCache(ttl=0.0)
+    flows = [FlowSpec.tcp("10.0.0.1", "10.0.1.1", 1000 + i, 80) for i in range(512)]
+    for i, flow in enumerate(flows):
+        cache.store(flow, "pass", f"cookie-{i}", now=0.0, keep_state=(i % 4 == 0))
+    hit_flow = flows[17]
+    results["decision_cache_hit"] = _timeit(lambda: cache.lookup(hit_flow, now=1.0))
+    miss_flow = FlowSpec.tcp("172.16.0.1", "172.16.0.2", 5, 5)
+    results["decision_cache_miss"] = _timeit(lambda: cache.lookup(miss_flow, now=1.0))
+
+    def churn_cookie() -> None:
+        cache.store(hit_flow, "pass", "cookie-churn", now=0.0)
+        cache.invalidate_cookie("cookie-churn")
+
+    results["decision_cache_invalidate_cookie"] = _timeit(churn_cookie)
+
+
+def bench_flow_table(results: dict) -> None:
+    table = FlowTable()
+    for i in range(256):
+        match = Match.from_five_tuple(f"10.0.{i}.1", "10.1.0.1", 6, 40000 + i, 80)
+        table.install(make_entry(match, [OutputAction(1)]))
+    packet = Packet.tcp("10.0.17.1", "10.1.0.1", 40017, 80)
+    results["flow_table_lookup_repeat"] = _timeit(lambda: table.lookup(packet, now=0.0))
+    results["packet_wire_size"] = _timeit(packet.wire_size)
+
+
+def bench_flow_generator(results: dict) -> None:
+    templates = [
+        FlowTemplate(
+            src_host=f"h{i}",
+            dst_host="server",
+            src_ip=f"10.0.0.{i + 1}",
+            dst_ip="10.1.0.1",
+            dst_port=80,
+            app_name="web",
+            user_name="alice",
+        )
+        for i in range(32)
+    ]
+    generator = FlowGenerator(templates, seed=7, zipf_skew=1.1)
+    results["flow_generator_draw_batch_64"] = _timeit(lambda: generator.draw_batch(64))
+
+    engine = PolicyEngine(default_action="block")
+    engine.add_control_file("00", "block all\npass from any to any port 80")
+
+    def decide_generated_batches() -> None:
+        for batch in generator.batches(128, 32):
+            engine.decide_batch([(flow, None, None) for _, flow in batch])
+
+    timing = _timeit(decide_generated_batches, min_seconds=0.2)
+    timing["ops_per_sec"] = round(timing["ops_per_sec"] * 128, 1)
+    timing["iterations"] = timing["iterations"] * 128
+    results["generator_to_engine_batches"] = timing
+
+
+def main() -> int:
+    results: dict = {}
+    print("running hot-path benchmarks ...")
+    bench_policy_evaluator(results)
+    bench_policy_engine(results)
+    bench_decision_cache(results)
+    bench_flow_table(results)
+    bench_flow_generator(results)
+
+    derived = {
+        "compiled_speedup_2000_rules": round(
+            results["policy_eval_compiled_2000"]["ops_per_sec"]
+            / results["policy_eval_interpreted_2000"]["ops_per_sec"],
+            1,
+        ),
+        "batch_speedup_2000_rules": round(
+            results["policy_eval_batch_2000"]["ops_per_sec"]
+            / results["policy_eval_interpreted_2000"]["ops_per_sec"],
+            1,
+        ),
+    }
+    payload = {
+        "command": "python benchmarks/run_benchmarks.py",
+        "python": platform.python_version(),
+        "results": results,
+        "derived": derived,
+    }
+    with open(RESULTS_PATH, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    width = max(len(name) for name in results)
+    for name, timing in results.items():
+        if "ops_per_sec" in timing:
+            print(f"  {name:<{width}}  {timing['ops_per_sec']:>14,.0f} ops/s")
+    for name, value in derived.items():
+        print(f"  {name:<{width}}  {value:>13}x")
+    print(f"wrote {os.path.relpath(RESULTS_PATH)}")
+    if derived["compiled_speedup_2000_rules"] < 5.0:
+        print("FAIL: compiled speedup at 2000 rules below the 5x acceptance floor")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -47,6 +47,12 @@ class DecisionCache:
     def __init__(self, *, ttl: float = DEFAULT_DECISION_TTL) -> None:
         self.ttl = ttl
         self._decisions: dict[FlowSpec, CachedDecision] = {}
+        # How many cached entries can cover reverse traffic (keep state
+        # passes); while zero, misses skip building the reversed FlowSpec.
+        self._reverse_candidates = 0
+        # cookie -> flows carrying it, so revocation is O(affected flows)
+        # instead of a scan over the whole cache.
+        self._by_cookie: dict[str, set[FlowSpec]] = {}
         self.state_table = StateTable()
         self.hits = 0
         self.misses = 0
@@ -70,8 +76,11 @@ class DecisionCache:
             keep_state=keep_state,
             rule_text=rule_text,
         )
+        self._drop_entry_bookkeeping(self._decisions.get(flow))
         self._decisions[flow] = decision
+        self._by_cookie.setdefault(cookie, set()).add(flow)
         if keep_state and action == "pass":
+            self._reverse_candidates += 1
             self.state_table.add(flow, now, rule_origin=rule_text, cookie=cookie)
         return decision
 
@@ -85,34 +94,65 @@ class DecisionCache:
         if decision is not None and (not self.ttl or now - decision.decided_at <= self.ttl):
             self.hits += 1
             return decision
-        # Reverse direction of an established (keep state) flow.
-        reverse = self._decisions.get(flow.reversed())
-        if (
-            reverse is not None
-            and reverse.keep_state
-            and reverse.is_pass
-            and (not self.ttl or now - reverse.decided_at <= self.ttl)
-        ):
-            self.hits += 1
-            return reverse
+        # Reverse direction of an established (keep state) flow.  Building
+        # the reversed FlowSpec costs an allocation, so skip it entirely
+        # while no keep-state pass entry exists.
+        if self._reverse_candidates:
+            reverse = self._decisions.get(flow.reversed())
+            if (
+                reverse is not None
+                and reverse.keep_state
+                and reverse.is_pass
+                and (not self.ttl or now - reverse.decided_at <= self.ttl)
+            ):
+                self.hits += 1
+                return reverse
         self.misses += 1
         return None
 
     def invalidate(self, flow: FlowSpec) -> bool:
         """Drop the cached decision for ``flow`` (exact direction)."""
-        return self._decisions.pop(flow, None) is not None
+        decision = self._decisions.pop(flow, None)
+        if decision is None:
+            return False
+        self._drop_entry_bookkeeping(decision)
+        return True
 
     def invalidate_cookie(self, cookie: str) -> int:
-        """Drop every cached decision (and state) carrying ``cookie``; returns the count."""
-        victims = [flow for flow, decision in self._decisions.items() if decision.cookie == cookie]
+        """Drop every cached decision (and state) carrying ``cookie``; returns the count.
+
+        Uses the cookie index, so the cost is proportional to the number
+        of affected flows, not the size of the cache.
+        """
+        victims = self._by_cookie.pop(cookie, None) or ()
+        count = 0
         for flow in victims:
-            del self._decisions[flow]
+            decision = self._decisions.pop(flow, None)
+            if decision is None:
+                continue
+            count += 1
+            if decision.keep_state and decision.is_pass:
+                self._reverse_candidates -= 1
         self.state_table.remove_by_cookie(cookie)
-        return len(victims)
+        return count
+
+    def _drop_entry_bookkeeping(self, decision: Optional[CachedDecision]) -> None:
+        """Unwind the counters/index for an entry leaving the cache."""
+        if decision is None:
+            return
+        if decision.keep_state and decision.is_pass:
+            self._reverse_candidates -= 1
+        flows = self._by_cookie.get(decision.cookie)
+        if flows is not None:
+            flows.discard(decision.flow)
+            if not flows:
+                del self._by_cookie[decision.cookie]
 
     def clear(self) -> None:
         """Drop everything."""
         self._decisions.clear()
+        self._by_cookie.clear()
+        self._reverse_candidates = 0
         self.state_table = StateTable()
 
     def hit_rate(self) -> float:

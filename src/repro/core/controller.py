@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.audit import AuditLog, DecisionRecord
+from repro.exceptions import PFError
 from repro.core.cache import DecisionCache
 from repro.core.interception import InterceptionPolicy
 from repro.core.policy_engine import PolicyDecision, PolicyEngine
@@ -89,6 +90,11 @@ class IdentPPController(Controller):
         self.query_latency = Histogram(f"{name}.query_latency")
         self._pending: dict[FlowSpec, list[PacketIn]] = {}
         self._cookie_counter = itertools.count(1)
+        # Decisions whose ident++ responses are in but not yet evaluated;
+        # everything ready at the same simulated instant is flushed through
+        # one PolicyEngine.decide_batch() call.
+        self._decision_queue: list[tuple] = []
+        self._flush_scheduled = False
         self.attach(topology.sim)
 
     # ------------------------------------------------------------------
@@ -205,10 +211,56 @@ class IdentPPController(Controller):
         outcomes: Sequence[QueryOutcome],
         arrival: float,
     ) -> None:
-        """Evaluate the policy once the query responses are in, then program the datapath."""
+        """Queue a flow whose query responses are in for (batched) evaluation.
+
+        Decisions becoming ready at the same simulated instant are
+        evaluated together through :meth:`PolicyEngine.decide_batch`, so
+        the per-decision context setup is paid once per burst of punts.
+        """
         src_doc = outcomes[0].document if outcomes else None
         dst_doc = outcomes[1].document if len(outcomes) > 1 else None
-        decision = self.policy.decide(flow, src_doc, dst_doc)
+        self._decision_queue.append((flow, src_doc, dst_doc, outcomes, arrival))
+        if self.sim is not None:
+            if not self._flush_scheduled:
+                self._flush_scheduled = True
+                self.sim.schedule(0.0, self._flush_decisions, label=f"{self.name}:decide-flush")
+        else:
+            self._flush_decisions()
+
+    def _flush_decisions(self) -> None:
+        """Evaluate every queued ready flow in one batch and program the datapath."""
+        self._flush_scheduled = False
+        queue, self._decision_queue = self._decision_queue, []
+        if not queue:
+            return
+        try:
+            decisions = self.policy.decide_batch(
+                [(flow, src_doc, dst_doc) for flow, src_doc, dst_doc, _, _ in queue]
+            )
+        except PFError:
+            # One mis-evaluating flow must not poison the burst: fall back
+            # to per-flow decisions so every other flow still completes,
+            # then re-raise the first error exactly as the unbatched punt
+            # path would have.
+            first_error: Optional[PFError] = None
+            for entry in queue:
+                flow, src_doc, dst_doc = entry[0], entry[1], entry[2]
+                try:
+                    decision = self.policy.decide(flow, src_doc, dst_doc)
+                except PFError as error:
+                    if first_error is None:
+                        first_error = error
+                    continue
+                self._finish_decision(entry, decision)
+            if first_error is not None:
+                raise first_error
+            return
+        for entry, decision in zip(queue, decisions):
+            self._finish_decision(entry, decision)
+
+    def _finish_decision(self, entry: tuple, decision: PolicyDecision) -> None:
+        """Cache, install and audit one evaluated decision."""
+        flow, _, _, outcomes, arrival = entry
         cookie = f"{self.name}:decision-{next(self._cookie_counter)}"
         self.cache.store(
             flow,
@@ -377,6 +429,14 @@ class IdentPPController(Controller):
         """Evaluate the policy for a flow without touching the datapath."""
         return self.policy.decide(flow, src_doc, dst_doc)
 
+    def decide_flows(self, items: Sequence[tuple]) -> list[PolicyDecision]:
+        """Batch form of :meth:`decide_flow` for offline what-if queries.
+
+        ``items`` are ``(flow, src_doc, dst_doc)`` tuples; the whole list
+        is evaluated through one :meth:`PolicyEngine.decide_batch` call.
+        """
+        return self.policy.decide_batch(items)
+
     # ------------------------------------------------------------------
     # Revocation (the administrator "overrides, audits, and revokes")
     # ------------------------------------------------------------------
@@ -419,4 +479,5 @@ class IdentPPController(Controller):
                 "entries": len(self.cache),
                 "hit_rate": self.cache.hit_rate(),
             },
+            "policy": self.policy.stats(),
         }

@@ -55,6 +55,9 @@ class DelegationManager:
     def __init__(self, keystore: Optional[KeyStore] = None) -> None:
         self.keystore = keystore if keystore is not None else KeyStore()
         self._grants: dict[str, DelegationGrant] = {}
+        #: Bumped whenever the active grant set changes, so the policy
+        #: engine can cache its ``@pubkeys`` dictionary between decisions.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # Granting
@@ -83,6 +86,7 @@ class DelegationManager:
             granted_at=now,
         )
         self._grants[principal] = grant
+        self.epoch += 1
         return grant
 
     def revoke(self, principal: str, *, now: float = 0.0) -> DelegationGrant:
@@ -98,6 +102,7 @@ class DelegationManager:
         grant.revoked_at = now
         if principal in self.keystore:
             self.keystore.remove(principal)
+        self.epoch += 1
         return grant
 
     # ------------------------------------------------------------------

@@ -85,6 +85,13 @@ class PolicyEngine:
         self.delegations = delegations if delegations is not None else DelegationManager()
         self._evaluator: Optional[PolicyEvaluator] = None
         self.decisions_made = 0
+        self.batch_decisions = 0
+        self.batches = 0
+        self.pubkeys_refreshes = 0
+        # (ruleset epoch, delegation epoch) the cached @pubkeys dict was
+        # built for; either moving invalidates it.
+        self._ruleset_epoch = 0
+        self._pubkeys_state: Optional[tuple[int, int]] = None
 
     # ------------------------------------------------------------------
     # Configuration management
@@ -123,6 +130,7 @@ class PolicyEngine:
             default_action=self.default_action,
             name=self.name,
         )
+        self._ruleset_epoch += 1
         return self._evaluator
 
     @property
@@ -150,34 +158,84 @@ class PolicyEngine:
     ) -> PolicyDecision:
         """Evaluate the policy for one flow."""
         evaluator = self.evaluator
-        # Delegation grants back @pubkeys lookups; configuration-defined
-        # dict entries win over grants of the same name so an
-        # administrator can always pin a key explicitly.
-        pubkeys = dict(self.delegations.pubkeys_dict())
-        pubkeys.update(evaluator.ruleset.dicts().get("pubkeys").entries if "pubkeys" in evaluator.ruleset.dicts() else {})
-        evaluator.dicts["pubkeys"] = pubkeys
-
+        self._refresh_pubkeys(evaluator)
         src_doc = src_doc if src_doc is not None else ResponseDocument()
         dst_doc = dst_doc if dst_doc is not None else ResponseDocument()
         verdict = evaluator.evaluate(flow, src_doc, dst_doc, extra=extra)
+        self.decisions_made += 1
+        return self._decision_from_verdict(flow, verdict, src_doc, dst_doc)
+
+    def decide_batch(
+        self,
+        items: Sequence[tuple],
+        *,
+        extra: Optional[dict[str, object]] = None,
+    ) -> list[PolicyDecision]:
+        """Evaluate the policy for many ``(flow, src_doc, dst_doc)`` at once.
+
+        The ``@pubkeys`` refresh and the evaluation context are paid once
+        for the whole batch instead of once per flow.
+        """
+        evaluator = self.evaluator
+        self._refresh_pubkeys(evaluator)
+        if not isinstance(items, (list, tuple)):
+            items = list(items)
+        verdicts = evaluator.evaluate_batch(items, extra=extra)
+        decisions: list[PolicyDecision] = []
+        for (flow, src_doc, dst_doc), verdict in zip(items, verdicts):
+            self.decisions_made += 1
+            self.batch_decisions += 1
+            decisions.append(self._decision_from_verdict(flow, verdict, src_doc, dst_doc))
+        self.batches += 1
+        return decisions
+
+    def _refresh_pubkeys(self, evaluator: PolicyEvaluator) -> None:
+        """Rebuild the evaluator's ``@pubkeys`` dict only when stale.
+
+        Delegation grants back @pubkeys lookups; configuration-defined
+        dict entries win over grants of the same name so an administrator
+        can always pin a key explicitly.  The merged dict is invalidated
+        by a new delegation epoch (grant/revoke) or an evaluator rebuild
+        (ruleset change) rather than rebuilt on every decision.
+        """
+        state = (self._ruleset_epoch, self.delegations.epoch)
+        if self._pubkeys_state == state:
+            return
+        pubkeys = dict(self.delegations.pubkeys_dict())
+        defined = evaluator.ruleset.dicts().get("pubkeys")
+        if defined is not None:
+            pubkeys.update(defined.entries)
+        evaluator.dicts["pubkeys"] = pubkeys
+        self._pubkeys_state = state
+        self.pubkeys_refreshes += 1
+
+    def _decision_from_verdict(
+        self,
+        flow: Optional[FlowSpec],
+        verdict: Verdict,
+        src_doc: Optional[ResponseDocument],
+        dst_doc: Optional[ResponseDocument],
+    ) -> PolicyDecision:
         delegated_functions = _delegation_functions_used(verdict.rule)
         principals = _principals_used(verdict.rule)
-        self.decisions_made += 1
         return PolicyDecision(
             flow=flow,
             verdict=verdict,
             delegated=bool(delegated_functions),
             delegation_functions=delegated_functions,
             principals=principals,
-            src_keys=src_doc.as_flat_dict(),
-            dst_keys=dst_doc.as_flat_dict(),
+            src_keys=src_doc.as_flat_dict() if src_doc is not None else {},
+            dst_keys=dst_doc.as_flat_dict() if dst_doc is not None else {},
         )
 
     def stats(self) -> dict[str, float]:
-        """Return counters for reports."""
+        """Return counters for reports, including compile/index/batch stats."""
         evaluator_stats = self.evaluator.stats()
         evaluator_stats["decisions_made"] = float(self.decisions_made)
         evaluator_stats["control_files"] = float(len(self.loader))
+        evaluator_stats["batch_decisions"] = float(self.batch_decisions)
+        evaluator_stats["decision_batches"] = float(self.batches)
+        evaluator_stats["pubkeys_refreshes"] = float(self.pubkeys_refreshes)
         return evaluator_stats
 
 

@@ -199,8 +199,15 @@ class Packet:
     def wire_size(self) -> int:
         """Return the estimated on-the-wire size in bytes.
 
-        Link transmission delay is ``wire_size() * 8 / bandwidth``.
+        Link transmission delay is ``wire_size() * 8 / bandwidth``.  The
+        size is computed once and cached on the packet (headers and
+        payload are fixed by the time a packet is transmitted; ``copy()``
+        and ``reply_template()`` build fresh packets, so the cache never
+        leaks across mutations made through those paths).
         """
+        cached = self.__dict__.get("_wire_size")
+        if cached is not None:
+            return cached
         size = _ETH_HEADER_LEN
         if self.vlan_id:
             size += _VLAN_TAG_LEN
@@ -214,7 +221,9 @@ class Packet:
             size += self.payload_size
         else:
             size += len(self.payload_bytes())
-        return max(size, 64)
+        size = max(size, 64)
+        self._wire_size = size
+        return size
 
     def reply_template(self) -> "Packet":
         """Return a new packet with addresses and ports swapped.

@@ -83,14 +83,22 @@ class FlowEntry:
 class FlowTable:
     """The flow table of one switch."""
 
+    #: Exact-match cache entries kept before wholesale clearing; bounds the
+    #: memory a long simulation with high flow churn can pin.
+    EXACT_CACHE_LIMIT = 8192
+
     def __init__(self, name: str = "flow-table", capacity: Optional[int] = None) -> None:
         self.name = name
         self.capacity = capacity
         self._entries: list[FlowEntry] = []
         self._sequence = 0
+        # header-tuple -> best entry from a previous full scan; valid until
+        # the table is modified (any install/remove/evict/expiry clears it).
+        self._exact_cache: dict[tuple, FlowEntry] = {}
         self.lookups = 0
         self.hits = 0
         self.misses = 0
+        self.exact_hits = 0
         self.evictions = 0
         self.expirations = 0
 
@@ -115,6 +123,7 @@ class FlowTable:
             self._entries.remove(existing)
         if self.capacity is not None and len(self._entries) >= self.capacity:
             self._evict_lru()
+        self._exact_cache.clear()
         self._sequence += 1
         entry.sequence = self._sequence
         entry.installed_at = now
@@ -135,6 +144,8 @@ class FlowTable:
             survivors = [e for e in self._entries if not match.covers(e.match)]
         removed = len(self._entries) - len(survivors)
         self._entries = survivors
+        if removed:
+            self._exact_cache.clear()
         return removed
 
     def remove_by_cookie(self, cookie: str) -> int:
@@ -142,11 +153,14 @@ class FlowTable:
         survivors = [e for e in self._entries if e.cookie != cookie]
         removed = len(self._entries) - len(survivors)
         self._entries = survivors
+        if removed:
+            self._exact_cache.clear()
         return removed
 
     def clear(self) -> None:
         """Remove all entries."""
         self._entries.clear()
+        self._exact_cache.clear()
 
     def _find_same(self, match: Match, priority: int) -> Optional[FlowEntry]:
         for entry in self._entries:
@@ -159,6 +173,7 @@ class FlowTable:
             return
         victim = min(self._entries, key=lambda e: (e.last_used_at, e.sequence))
         self._entries.remove(victim)
+        self._exact_cache.clear()
         self.evictions += 1
 
     # ------------------------------------------------------------------
@@ -171,8 +186,36 @@ class FlowTable:
         "Best" is highest priority, then most specific match, then oldest
         installation, which mirrors hardware behaviour closely enough for
         the experiments.  Returns ``None`` on a table miss.
+
+        An exact-match hash cache short-circuits the priority scan for
+        repeat packets of the same flow: the winning entry of a previous
+        scan is keyed on the packet's full header tuple and stays valid
+        until the table is modified (every mutation clears the cache), so
+        the fast path can never disagree with the scan.
         """
         self.lookups += 1
+        packet_key = (
+            in_port,
+            packet.eth_src,
+            packet.eth_dst,
+            packet.eth_type,
+            packet.vlan_id,
+            packet.ip_src,
+            packet.ip_dst,
+            packet.ip_proto,
+            packet.tp_src,
+            packet.tp_dst,
+        )
+        cached = self._exact_cache.get(packet_key)
+        if cached is not None:
+            if not cached.is_expired(now):
+                self.exact_hits += 1
+                self.hits += 1
+                cached.record_use(packet, now)
+                return cached
+            # The cached winner expired; rescan (a lower-ranked entry may
+            # now be the best match).
+            del self._exact_cache[packet_key]
         best: Optional[FlowEntry] = None
         best_key = None
         for entry in self._entries:
@@ -189,6 +232,9 @@ class FlowTable:
             return None
         self.hits += 1
         best.record_use(packet, now)
+        if len(self._exact_cache) >= self.EXACT_CACHE_LIMIT:
+            self._exact_cache.clear()
+        self._exact_cache[packet_key] = best
         return best
 
     def expire(self, now: float) -> list[FlowEntry]:
@@ -196,6 +242,7 @@ class FlowTable:
         expired = [e for e in self._entries if e.is_expired(now)]
         if expired:
             self._entries = [e for e in self._entries if not e.is_expired(now)]
+            self._exact_cache.clear()
             self.expirations += len(expired)
         return expired
 
@@ -230,6 +277,7 @@ class FlowTable:
             "hits": float(self.hits),
             "misses": float(self.misses),
             "hit_rate": self.hit_rate(),
+            "exact_hits": float(self.exact_hits),
             "evictions": float(self.evictions),
             "expirations": float(self.expirations),
         }

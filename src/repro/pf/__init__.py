@@ -18,6 +18,13 @@ tables (:mod:`repro.pf.tables`), the predicate function registry
 (:mod:`repro.pf.state`) and the ``*.control`` configuration loader that
 concatenates files in alphabetical order (:mod:`repro.pf.ruleset`).
 
+Performance note: by default the evaluator does **not** interpret the
+AST per flow — :mod:`repro.pf.compiler` compiles every rule into a
+closure over pre-parsed addresses and indexes the ruleset by destination
+port and prefix, so a decision only touches candidate rules.  See
+``compiler.py`` for the compilation model and the "Performance
+architecture" section of the repository README for how the pieces fit.
+
 Every rule listed in Figures 2, 4, 5, 6, 7 and 8 of the paper parses and
 evaluates with this package; the figure benchmarks assert exactly that.
 """
@@ -33,6 +40,7 @@ from repro.pf.ast_nodes import (
     Ruleset,
     TableDef,
 )
+from repro.pf.compiler import CompiledPolicy, CompiledRule, RuleIndex, compile_ruleset
 from repro.pf.evaluator import EvalContext, PolicyEvaluator, Verdict
 from repro.pf.functions import FunctionRegistry, default_registry
 from repro.pf.lexer import Token, tokenize
@@ -51,6 +59,10 @@ __all__ = [
     "Rule",
     "Ruleset",
     "TableDef",
+    "CompiledPolicy",
+    "CompiledRule",
+    "RuleIndex",
+    "compile_ruleset",
     "EvalContext",
     "PolicyEvaluator",
     "Verdict",

@@ -5,6 +5,14 @@ matching rule being executed.  A matching rule can force its execution
 and bypass later rules if it contains the ``quick`` keyword."  When no
 rule matches at all, PF's default is to pass — which is why every
 configuration in the paper begins with an explicit ``block all``.
+
+Two execution strategies produce identical verdicts:
+
+* the **interpreted** path (:meth:`PolicyEvaluator.evaluate_interpreted`)
+  walks the AST per flow, exactly as written above, and
+* the **compiled** path (default) runs the ruleset through
+  :mod:`repro.pf.compiler` — closures over pre-parsed addresses plus a
+  destination-port/prefix index — and only visits candidate rules.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from repro.pf.ast_nodes import (
     TableRef,
     TableRefExpr,
 )
+from repro.pf.compiler import CompiledPolicy, _split_list, compile_ruleset
 from repro.pf.functions import ArgValue, FunctionRegistry, default_registry
 from repro.pf.tables import TableSet
 
@@ -133,6 +142,7 @@ class PolicyEvaluator:
         registry: Optional[FunctionRegistry] = None,
         default_action: str = ACTION_PASS,
         name: str = "policy",
+        compile_rules: bool = True,
     ) -> None:
         self.name = name
         self.ruleset = ruleset
@@ -141,8 +151,14 @@ class PolicyEvaluator:
         self.tables = TableSet.from_definitions(ruleset.tables())
         self.macros = ruleset.macros()
         self.dicts = {n: dict(d.entries) for n, d in ruleset.dicts().items()}
+        self.compile_rules = compile_rules
+        self._compiled: Optional[CompiledPolicy] = None
         self.evaluations = 0
         self.rules_checked = 0
+        self.fallback_scans = 0
+        self.batches = 0
+        self.batched_evaluations = 0
+        self.max_batch_size = 0
 
     # ------------------------------------------------------------------
     # Public API
@@ -184,8 +200,111 @@ class PolicyEvaluator:
         return self.evaluate_with_context(context)
 
     def evaluate_with_context(self, context: EvalContext) -> Verdict:
-        """Run the ruleset against an existing context (last match wins, ``quick`` stops)."""
+        """Run the ruleset against an existing context (last match wins, ``quick`` stops).
+
+        Uses the compiled fast path when enabled; flowless evaluation and
+        ``compile_rules=False`` fall back to the interpreted linear scan.
+        """
         self.evaluations += 1
+        if self.compile_rules and context.flow is not None:
+            return self._evaluate_compiled(context)
+        self.fallback_scans += 1
+        return self._evaluate_linear(context)
+
+    def evaluate_batch(
+        self,
+        items: Sequence[tuple],
+        *,
+        extra: Optional[dict[str, object]] = None,
+    ) -> list[Verdict]:
+        """Evaluate many ``(flow, src_doc, dst_doc)`` tuples in one call.
+
+        One :class:`EvalContext` (and one empty response document for
+        absent sides) is reused for the whole batch, which amortizes the
+        per-decision setup the single-flow API pays every time.
+        """
+        self.batches += 1
+        self.batched_evaluations += len(items)
+        self.max_batch_size = max(self.max_batch_size, len(items))
+        context = self.make_context(None, None, None, extra=extra)
+        empty_doc = context.src_doc
+        verdicts: list[Verdict] = []
+        for flow, src_doc, dst_doc in items:
+            context.flow = flow
+            context.src_doc = src_doc if src_doc is not None else empty_doc
+            context.dst_doc = dst_doc if dst_doc is not None else empty_doc
+            verdicts.append(self.evaluate_with_context(context))
+        return verdicts
+
+    def evaluate_interpreted(
+        self,
+        flow: Optional[FlowSpec],
+        src_doc: Optional[ResponseDocument] = None,
+        dst_doc: Optional[ResponseDocument] = None,
+        *,
+        extra: Optional[dict[str, object]] = None,
+        depth: int = 0,
+    ) -> Verdict:
+        """Run the original AST-walking path (the parity reference)."""
+        context = self.make_context(flow, src_doc, dst_doc, extra=extra, depth=depth)
+        self.evaluations += 1
+        return self._evaluate_linear(context)
+
+    # ------------------------------------------------------------------
+    # Execution strategies
+    # ------------------------------------------------------------------
+
+    @property
+    def compiled(self) -> CompiledPolicy:
+        """Return the compiled policy, (re)building it if tables moved."""
+        compiled = self._compiled
+        if compiled is None or compiled.table_version != self.tables.version:
+            compiled = compile_ruleset(self.ruleset, self.macros, self.tables)
+            self._compiled = compiled
+        return compiled
+
+    def _evaluate_compiled(self, context: EvalContext) -> Verdict:
+        compiled = self.compiled
+        flow = context.flow
+        candidates = compiled.index.candidates(flow.dst_port)
+        compiled.index_lookups += 1
+        dst_octet = flow.dst_ip.to_int() >> 24
+        matched: list[Rule] = []
+        deciding: Optional[Rule] = None
+        rules_evaluated = 0
+        quick_terminated = False
+        for candidate in candidates:
+            rules_evaluated += 1
+            octets = candidate.dst_octets
+            if octets is not None and dst_octet not in octets:
+                compiled.gate_skipped += 1
+                continue
+            compiled.candidates_visited += 1
+            self.rules_checked += 1
+            if candidate.matches(context):
+                rule = candidate.rule
+                matched.append(rule)
+                deciding = rule
+                if rule.quick:
+                    quick_terminated = True
+                    break
+        if deciding is None:
+            return Verdict(
+                action=self.default_action,
+                rule=None,
+                matched_rules=[],
+                rules_evaluated=rules_evaluated,
+                default_used=True,
+            )
+        return Verdict(
+            action=deciding.action,
+            rule=deciding,
+            matched_rules=matched,
+            rules_evaluated=rules_evaluated,
+            quick_terminated=quick_terminated,
+        )
+
+    def _evaluate_linear(self, context: EvalContext) -> Verdict:
         matched: list[Rule] = []
         deciding: Optional[Rule] = None
         rules_evaluated = 0
@@ -271,12 +390,24 @@ class PolicyEvaluator:
     # ------------------------------------------------------------------
 
     def stats(self) -> dict[str, float]:
-        """Return evaluator counters (used by the throughput benchmark)."""
-        return {
+        """Return evaluator counters (used by the throughput benchmark).
+
+        Includes the compile/index counters so benchmarks can assert the
+        index is actually being hit rather than silently falling back.
+        """
+        stats = {
             "evaluations": float(self.evaluations),
             "rules_checked": float(self.rules_checked),
             "rules_in_policy": float(len(self.ruleset.rules())),
+            "fallback_scans": float(self.fallback_scans),
+            "batches": float(self.batches),
+            "batched_evaluations": float(self.batched_evaluations),
+            "max_batch_size": float(self.max_batch_size),
+            "compile_enabled": 1.0 if self.compile_rules else 0.0,
         }
+        if self._compiled is not None:
+            stats.update(self._compiled.stats())
+        return stats
 
 
 def _literal_contains(text: str, address: IPv4Address) -> bool:
@@ -286,10 +417,3 @@ def _literal_contains(text: str, address: IPv4Address) -> bool:
         return IPv4Address(text) == address
     except AddressError:
         return False
-
-
-def _split_list(value: str) -> Sequence[str]:
-    text = value.strip()
-    if text.startswith("{") and text.endswith("}"):
-        text = text[1:-1]
-    return text.split()

@@ -243,8 +243,11 @@ def _fn_allowed(context: "EvalContext", args: Sequence[ArgValue]) -> bool:
         return False
     # Delegated requirements are fail-closed: a flow the requirements do not
     # explicitly pass is not "allowed by the rule specified in the argument".
+    # The evaluator is built for exactly one evaluation, so compiling the
+    # delegated text would cost more than the interpreted walk it replaces.
     nested = PolicyEvaluator(
-        ruleset, registry=context.registry, default_action="block", name="allowed()"
+        ruleset, registry=context.registry, default_action="block", name="allowed()",
+        compile_rules=False,
     )
     nested.tables.merge(context.tables)
     try:

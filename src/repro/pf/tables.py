@@ -50,6 +50,9 @@ class TableSet:
     def __init__(self, definitions: Optional[dict[str, TableDef]] = None) -> None:
         self._definitions: dict[str, TableDef] = dict(definitions or {})
         self._resolved: dict[str, AddressTable] = {}
+        #: Bumped on every mutation; compiled policies record the version
+        #: they were built against and recompile when it moves.
+        self.version = 0
 
     @classmethod
     def from_definitions(cls, definitions: dict[str, TableDef]) -> "TableSet":
@@ -60,6 +63,7 @@ class TableSet:
         """Add or replace a table definition (invalidates the resolution cache)."""
         self._definitions[definition.name] = definition
         self._resolved.clear()
+        self.version += 1
 
     def add_table(self, name: str, items: Iterable[str]) -> None:
         """Define a table directly from address/prefix strings (used by scenarios)."""
@@ -108,6 +112,7 @@ class TableSet:
         """Add every definition from ``other`` (other's definitions win on clash)."""
         self._definitions.update(other._definitions)
         self._resolved.clear()
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._definitions)

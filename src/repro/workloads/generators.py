@@ -93,6 +93,34 @@ class FlowGenerator:
         port = self._allocate_port(reuse=not new_connection)
         return template, template.flow(port)
 
+    def draw_batch(
+        self, count: int, *, new_connection_probability: float = 1.0
+    ) -> list[tuple[FlowTemplate, FlowSpec]]:
+        """Draw ``count`` flows at once (feeds the batch decision APIs).
+
+        Same draw semantics as :meth:`sequence`, materialised as a list so
+        callers can hand the whole batch to
+        :meth:`repro.core.policy_engine.PolicyEngine.decide_batch` /
+        :meth:`repro.pf.evaluator.PolicyEvaluator.evaluate_batch`.
+        """
+        return list(self.sequence(count, new_connection_probability=new_connection_probability))
+
+    def batches(
+        self,
+        total: int,
+        batch_size: int,
+        *,
+        new_connection_probability: float = 1.0,
+    ) -> Iterator[list[tuple[FlowTemplate, FlowSpec]]]:
+        """Yield ``total`` draws grouped into lists of up to ``batch_size``."""
+        if batch_size <= 0:
+            raise WorkloadError("batch_size must be positive")
+        remaining = total
+        while remaining > 0:
+            size = min(batch_size, remaining)
+            yield self.draw_batch(size, new_connection_probability=new_connection_probability)
+            remaining -= size
+
     def sequence(self, count: int, *, new_connection_probability: float = 1.0) -> Iterator[tuple[FlowTemplate, FlowSpec]]:
         """Yield ``count`` draws; with probability ``1 - p`` a draw reuses the previous port.
 

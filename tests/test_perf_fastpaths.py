@@ -1,0 +1,256 @@
+"""Tests for the controller/datapath fast paths added with the compiler.
+
+Covers the decision-cache reverse/cookie indexes, the flow-table
+exact-match cache, Packet.wire_size caching and the policy engine's
+batched decisions + @pubkeys epoch caching.
+"""
+
+from repro.core.cache import DecisionCache
+from repro.core.delegation import DelegationManager
+from repro.core.policy_engine import PolicyEngine
+from repro.crypto.signatures import Signer
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.keyvalue import ResponseDocument
+from repro.netsim.packet import Packet
+from repro.openflow.actions import OutputAction
+from repro.openflow.flow_table import FlowTable, make_entry
+from repro.openflow.match import Match
+
+FLOW = FlowSpec.tcp("192.168.0.10", "192.168.1.1", 40000, 80)
+
+
+def doc(entries: dict) -> ResponseDocument:
+    document = ResponseDocument()
+    document.add_section(entries)
+    return document
+
+
+class TestDecisionCacheIndexes:
+    def test_reverse_lookup_still_works(self):
+        cache = DecisionCache()
+        cache.store(FLOW, "pass", "c1", now=0.0, keep_state=True)
+        assert cache.lookup(FLOW.reversed(), now=1.0) is not None
+
+    def test_reverse_skip_counter_tracks_entries(self):
+        cache = DecisionCache()
+        assert cache._reverse_candidates == 0
+        cache.store(FLOW, "pass", "c1", now=0.0, keep_state=True)
+        assert cache._reverse_candidates == 1
+        # A block with keep_state never covers reverse traffic: not counted.
+        other = FlowSpec.tcp("10.0.0.1", "10.0.0.2", 1, 2)
+        cache.store(other, "block", "c2", now=0.0, keep_state=True)
+        assert cache._reverse_candidates == 1
+        assert cache.lookup(other.reversed(), now=0.5) is None
+        # Overwriting the keep-state entry unwinds the counter.
+        cache.store(FLOW, "block", "c3", now=0.0, keep_state=False)
+        assert cache._reverse_candidates == 0
+        cache.invalidate(FLOW)
+        assert cache._reverse_candidates == 0
+
+    def test_invalidate_cookie_uses_index(self):
+        cache = DecisionCache()
+        flows = [FlowSpec.tcp("10.0.0.1", "10.0.1.1", 1000 + i, 80) for i in range(20)]
+        for i, flow in enumerate(flows):
+            cache.store(flow, "pass", f"cookie-{i % 2}", now=0.0, keep_state=(i % 3 == 0))
+        assert cache.invalidate_cookie("cookie-0") == 10
+        assert cache.invalidate_cookie("cookie-0") == 0
+        assert len(cache) == 10
+        assert cache.invalidate_cookie("cookie-1") == 10
+        assert len(cache) == 0
+        assert cache._reverse_candidates == 0
+        assert cache._by_cookie == {}
+
+    def test_clear_resets_indexes(self):
+        cache = DecisionCache()
+        cache.store(FLOW, "pass", "c1", now=0.0, keep_state=True)
+        cache.clear()
+        assert cache._reverse_candidates == 0
+        assert cache._by_cookie == {}
+        assert cache.lookup(FLOW.reversed(), now=0.0) is None
+
+
+class TestFlowTableExactCache:
+    def packet(self) -> Packet:
+        return Packet.tcp("10.0.0.1", "10.0.0.2", 40000, 80)
+
+    def test_repeat_lookup_hits_exact_cache(self):
+        table = FlowTable()
+        match = Match.from_five_tuple("10.0.0.1", "10.0.0.2", 6, 40000, 80)
+        table.install(make_entry(match, [OutputAction(1)]))
+        first = table.lookup(self.packet(), now=0.0)
+        second = table.lookup(self.packet(), now=0.1)
+        assert first is second
+        assert table.exact_hits == 1
+        assert table.stats()["exact_hits"] == 1.0
+
+    def test_cache_invalidated_by_higher_priority_install(self):
+        table = FlowTable()
+        broad = Match(nw_dst="10.0.0.0/8")
+        table.install(make_entry(broad, [OutputAction(1)], priority=10))
+        assert table.lookup(self.packet(), now=0.0).priority == 10
+        specific = Match.from_five_tuple("10.0.0.1", "10.0.0.2", 6, 40000, 80)
+        table.install(make_entry(specific, [OutputAction(2)], priority=200))
+        assert table.lookup(self.packet(), now=0.0).priority == 200
+
+    def test_cache_invalidated_by_removal(self):
+        table = FlowTable()
+        match = Match.from_five_tuple("10.0.0.1", "10.0.0.2", 6, 40000, 80)
+        table.install(make_entry(match, [OutputAction(1)], cookie="c1"))
+        assert table.lookup(self.packet(), now=0.0) is not None
+        table.remove_by_cookie("c1")
+        assert table.lookup(self.packet(), now=0.0) is None
+
+    def test_expired_cached_entry_rescans(self):
+        table = FlowTable()
+        match = Match.from_five_tuple("10.0.0.1", "10.0.0.2", 6, 40000, 80)
+        table.install(make_entry(match, [OutputAction(1)], idle_timeout=1.0), now=0.0)
+        fallback = Match(nw_dst="10.0.0.0/8")
+        table.install(make_entry(fallback, [OutputAction(2)], priority=5), now=0.0)
+        assert table.lookup(self.packet(), now=0.5).priority == 100
+        # Past the idle timeout the specific entry is dead; the cached
+        # winner must not be returned and the scan finds the fallback.
+        assert table.lookup(self.packet(), now=10.0).priority == 5
+
+    def test_wire_size_cached(self):
+        packet = Packet.tcp("10.0.0.1", "10.0.0.2", 1, 2, payload="x" * 100)
+        first = packet.wire_size()
+        assert packet._wire_size == first
+        assert packet.wire_size() == first
+        # copies recompute rather than inheriting the cache
+        clone = packet.copy(payload="y" * 500)
+        assert clone.wire_size() == first + 400
+
+
+class TestPolicyEngineBatching:
+    def engine(self) -> PolicyEngine:
+        engine = PolicyEngine(default_action="block")
+        engine.add_control_file(
+            "00-policy",
+            "block all\npass from any to any port 80 with eq(@src[name], web)",
+        )
+        return engine
+
+    def test_decide_batch_matches_decide(self):
+        engine = self.engine()
+        items = [
+            (FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1000 + i, 80 if i % 2 else 443),
+             doc({"name": "web"}), None)
+            for i in range(10)
+        ]
+        batch = engine.decide_batch(items)
+        singles = [engine.decide(flow, src, dst) for flow, src, dst in items]
+        assert [d.action for d in batch] == [d.action for d in singles]
+        stats = engine.stats()
+        assert stats["batch_decisions"] == 10.0
+        assert stats["decision_batches"] == 1.0
+        assert stats["decisions_made"] == 20.0
+
+    def test_pubkeys_refresh_only_on_epoch_change(self):
+        engine = self.engine()
+        flow = FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1, 80)
+        for _ in range(5):
+            engine.decide(flow, doc({"name": "web"}), None)
+        assert engine.stats()["pubkeys_refreshes"] == 1.0
+        engine.delegations.grant("research", Signer("research").public_key)
+        engine.decide(flow, None, None)
+        assert engine.stats()["pubkeys_refreshes"] == 2.0
+        assert "research" in engine.evaluator.dicts["pubkeys"]
+        engine.delegations.revoke("research")
+        engine.decide(flow, None, None)
+        assert engine.stats()["pubkeys_refreshes"] == 3.0
+        assert "research" not in engine.evaluator.dicts["pubkeys"]
+
+    def test_ruleset_change_invalidates_pubkeys_cache(self):
+        engine = self.engine()
+        flow = FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1, 80)
+        engine.decide(flow, None, None)
+        engine.add_control_file("10-extra", "pass from any to any port 22")
+        engine.decide(flow, None, None)
+        assert engine.stats()["pubkeys_refreshes"] == 2.0
+
+
+class TestGeneratorBatches:
+    def generator(self, **kwargs):
+        from repro.workloads.generators import FlowGenerator, FlowTemplate
+
+        templates = [
+            FlowTemplate(
+                src_host=f"h{i}",
+                dst_host="server",
+                src_ip=f"10.0.0.{i + 1}",
+                dst_ip="10.1.0.1",
+                dst_port=80,
+                app_name="web",
+                user_name="alice",
+            )
+            for i in range(4)
+        ]
+        return FlowGenerator(templates, seed=3, **kwargs)
+
+    def test_draw_batch_matches_sequence_semantics(self):
+        drawn = self.generator().draw_batch(10)
+        assert len(drawn) == 10
+        assert all(flow.dst_port == 80 for _, flow in drawn)
+
+    def test_batches_chunking(self):
+        chunks = list(self.generator().batches(10, 4))
+        assert [len(chunk) for chunk in chunks] == [4, 4, 2]
+
+    def test_batches_rejects_bad_size(self):
+        import pytest
+
+        from repro.exceptions import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            list(self.generator().batches(10, 0))
+
+
+class TestControllerFlushIsolation:
+    def test_bad_flow_does_not_poison_the_batch(self):
+        """A PFEvalError for one queued flow must not lose the others."""
+        from repro.core.policy_engine import PolicyEngine
+
+        engine = PolicyEngine(default_action="block")
+        # The unknown macro sits behind the port-81 gate: only port-81
+        # flows ever evaluate it (the dst port check precedes the dst
+        # address on both execution paths).
+        engine.add_control_file(
+            "00", "block all\npass from any to any port 80\npass from any to $typo port 81"
+        )
+
+        class FakeController:
+            # Borrow the real flush logic without building a topology.
+            from repro.core.controller import IdentPPController as _real
+
+            def __init__(self, engine):
+                self.policy = engine
+                self._decision_queue = []
+                self._flush_scheduled = False
+                self.finished = []
+
+            def _finish_decision(self, entry, decision):
+                self.finished.append((entry[0], decision.action))
+
+            _flush_decisions = _real._flush_decisions
+
+        controller = FakeController(engine)
+        good_a = FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1000, 80)
+        bad = FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1001, 81)
+        good_b = FlowSpec.tcp("1.1.1.1", "2.2.2.3", 1002, 80)
+        controller._decision_queue = [
+            (good_a, None, None, [], 0.0),
+            (bad, None, None, [], 0.0),
+            (good_b, None, None, [], 0.0),
+        ]
+        import pytest
+
+        from repro.exceptions import PFEvalError
+
+        with pytest.raises(PFEvalError):
+            controller._flush_decisions()
+        # Both healthy flows still completed despite the poisoned batch.
+        assert [(flow, action) for flow, action in controller.finished] == [
+            (good_a, "pass"),
+            (good_b, "pass"),
+        ]
+        assert controller._decision_queue == []
