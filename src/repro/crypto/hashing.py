@@ -11,18 +11,27 @@ from __future__ import annotations
 import hashlib
 
 
+def _to_bytes(data: bytes | str) -> bytes:
+    """UTF-8 encode strings, tolerating lone surrogates.
+
+    Signed values come from untrusted ident++ responses, so hashing must
+    be total over arbitrary Python strings: ``surrogatepass`` gives lone
+    surrogates (which strict UTF-8 rejects) a stable byte encoding
+    instead of raising mid-signature.
+    """
+    if isinstance(data, str):
+        return data.encode("utf-8", "surrogatepass")
+    return data
+
+
 def sha256_hex(data: bytes | str) -> str:
     """Return the SHA-256 hex digest of ``data`` (strings are UTF-8 encoded)."""
-    if isinstance(data, str):
-        data = data.encode("utf-8")
-    return hashlib.sha256(data).hexdigest()
+    return hashlib.sha256(_to_bytes(data)).hexdigest()
 
 
 def sha256_int(data: bytes | str) -> int:
     """Return the SHA-256 digest of ``data`` as an integer (used for RSA signing)."""
-    if isinstance(data, str):
-        data = data.encode("utf-8")
-    return int.from_bytes(hashlib.sha256(data).digest(), "big")
+    return int.from_bytes(hashlib.sha256(_to_bytes(data)).digest(), "big")
 
 
 def executable_hash(path: str, contents: bytes | str | None = None, version: str = "") -> str:
@@ -35,6 +44,6 @@ def executable_hash(path: str, contents: bytes | str | None = None, version: str
     """
     if contents is None:
         contents = b""
-    if isinstance(contents, str):
-        contents = contents.encode("utf-8")
-    return sha256_hex(path.encode("utf-8") + b"\x00" + contents + b"\x00" + version.encode("utf-8"))
+    return sha256_hex(
+        _to_bytes(path) + b"\x00" + _to_bytes(contents) + b"\x00" + _to_bytes(version)
+    )
