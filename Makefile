@@ -1,13 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-experiments
+.PHONY: test bench bench-experiments soak
 
 test:
 	$(PYTHON) -m pytest -q
 
 bench:
 	$(PYTHON) benchmarks/run_benchmarks.py
+
+soak:
+	$(PYTHON) -m repro.workloads.churn
 
 bench-experiments:
 	$(PYTHON) -m pytest benchmarks/bench_*.py --benchmark-only -s

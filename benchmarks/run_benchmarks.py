@@ -33,6 +33,7 @@ from repro.openflow.flow_table import FlowTable, make_entry  # noqa: E402
 from repro.openflow.match import Match  # noqa: E402
 from repro.pf.evaluator import PolicyEvaluator  # noqa: E402
 from repro.pf.parser import parse_ruleset  # noqa: E402
+from repro.workloads.churn import ChurnConfig, ChurnSoak, error_probe  # noqa: E402
 from repro.workloads.generators import FlowGenerator, FlowTemplate  # noqa: E402
 from repro.workloads.paper_configs import figure2_control_files  # noqa: E402
 
@@ -180,6 +181,15 @@ def bench_flow_generator(results: dict) -> None:
     results["generator_to_engine_batches"] = timing
 
 
+def bench_churn_soak(results: dict) -> None:
+    """Soak: 100k short-lived flows; state must stay bounded, errors fail closed."""
+    report = ChurnSoak(ChurnConfig(flows=100_000)).run()
+    soak = report.as_dict()
+    soak["ops_per_sec"] = soak.pop("flows_per_sec")
+    results["soak_churn_100k"] = soak
+    results["soak_fail_closed_probe"] = error_probe()
+
+
 def main() -> int:
     results: dict = {}
     print("running hot-path benchmarks ...")
@@ -188,6 +198,8 @@ def main() -> int:
     bench_decision_cache(results)
     bench_flow_table(results)
     bench_flow_generator(results)
+    print("running churn soak ...")
+    bench_churn_soak(results)
 
     derived = {
         "compiled_speedup_2000_rules": round(
@@ -200,6 +212,8 @@ def main() -> int:
             / results["policy_eval_interpreted_2000"]["ops_per_sec"],
             1,
         ),
+        "soak_state_bounded": results["soak_churn_100k"]["bounded_within_2x"],
+        "soak_fail_closed": results["soak_fail_closed_probe"]["failed_closed"],
     }
     payload = {
         "command": "python benchmarks/run_benchmarks.py",
@@ -216,10 +230,17 @@ def main() -> int:
         if "ops_per_sec" in timing:
             print(f"  {name:<{width}}  {timing['ops_per_sec']:>14,.0f} ops/s")
     for name, value in derived.items():
-        print(f"  {name:<{width}}  {value:>13}x")
+        suffix = "x" if isinstance(value, (int, float)) and not isinstance(value, bool) else ""
+        print(f"  {name:<{width}}  {value!s:>13}{suffix}")
     print(f"wrote {os.path.relpath(RESULTS_PATH)}")
     if derived["compiled_speedup_2000_rules"] < 5.0:
         print("FAIL: compiled speedup at 2000 rules below the 5x acceptance floor")
+        return 1
+    if not derived["soak_state_bounded"]:
+        print("FAIL: churn soak left unbounded flow state (see soak_churn_100k.violations)")
+        return 1
+    if not derived["soak_fail_closed"]:
+        print("FAIL: PFError flow was not failed closed in the soak probe")
         return 1
     return 0
 

@@ -14,6 +14,9 @@ This package ties the substrates together into the system of §3:
 * :mod:`repro.core.delegation` — grant / audit / revoke records for the
   controlled-delegation story of §2;
 * :mod:`repro.core.cache` — the controller-side decision cache;
+* :mod:`repro.core.lifecycle` — the flow-state lifecycle service that
+  keeps the decision cache, state table and switch flow tables bounded
+  under churn;
 * :mod:`repro.core.audit` — the audit log every decision lands in;
 * :mod:`repro.core.network` — a convenience builder that assembles an
   ident++-protected OpenFlow network (topology + switches + hosts +
@@ -25,6 +28,7 @@ from repro.core.cache import CachedDecision, DecisionCache
 from repro.core.controller import ControllerConfig, IdentPPController
 from repro.core.delegation import DelegationGrant, DelegationManager
 from repro.core.interception import AugmentationRule, InterceptionPolicy, StaticAnswer
+from repro.core.lifecycle import ExpiryHeap, LifecycleService
 from repro.core.network import HostSpec, IdentPPNetwork
 from repro.core.policy_engine import PolicyDecision, PolicyEngine
 
@@ -40,6 +44,8 @@ __all__ = [
     "AugmentationRule",
     "InterceptionPolicy",
     "StaticAnswer",
+    "ExpiryHeap",
+    "LifecycleService",
     "HostSpec",
     "IdentPPNetwork",
     "PolicyDecision",

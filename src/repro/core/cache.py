@@ -10,6 +10,14 @@ controller additionally keeps its own cache so that
 
 Entries carry the decision's cookie so revocation can drop exactly the
 affected cache lines.
+
+The cache's lifetime story is explicit: TTL-expired entries are evicted
+lazily on lookup *and* eagerly by :meth:`DecisionCache.expire` (driven
+by the :class:`~repro.core.lifecycle.LifecycleService` through an
+:class:`~repro.core.lifecycle.ExpiryHeap`, so a sweep costs
+``O(expired log n)`` rather than a scan).  An optional ``capacity``
+bounds the entry count with LRU eviction, which is what lets a
+controller survive adversarial flow churn with a fixed memory budget.
 """
 
 from __future__ import annotations
@@ -17,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.core.lifecycle import ExpiryHeap
 from repro.identpp.flowspec import FlowSpec
 from repro.pf.state import StateTable
 
@@ -42,10 +51,18 @@ class CachedDecision:
 
 
 class DecisionCache:
-    """Flow → decision cache with TTL plus the ``keep state`` table."""
+    """Flow → decision cache with TTL, LRU bound, plus the ``keep state`` table."""
 
-    def __init__(self, *, ttl: float = DEFAULT_DECISION_TTL) -> None:
+    def __init__(
+        self,
+        *,
+        ttl: float = DEFAULT_DECISION_TTL,
+        capacity: Optional[int] = None,
+    ) -> None:
         self.ttl = ttl
+        self.capacity = capacity
+        # Insertion order doubles as recency order: hits under a capacity
+        # bound reinsert the entry, so the head is always the LRU victim.
         self._decisions: dict[FlowSpec, CachedDecision] = {}
         # How many cached entries can cover reverse traffic (keep state
         # passes); while zero, misses skip building the reversed FlowSpec.
@@ -53,9 +70,14 @@ class DecisionCache:
         # cookie -> flows carrying it, so revocation is O(affected flows)
         # instead of a scan over the whole cache.
         self._by_cookie: dict[str, set[FlowSpec]] = {}
+        # (decided_at + ttl, flow, cookie) deadlines; stale records are
+        # skipped at pop time by re-checking the live entry's cookie.
+        self._expiry = ExpiryHeap()
         self.state_table = StateTable()
         self.hits = 0
         self.misses = 0
+        self.expirations = 0
+        self.evictions = 0
 
     def store(
         self,
@@ -76,39 +98,62 @@ class DecisionCache:
             keep_state=keep_state,
             rule_text=rule_text,
         )
-        self._drop_entry_bookkeeping(self._decisions.get(flow))
+        previous = self._decisions.pop(flow, None)
+        self._drop_entry_bookkeeping(previous)
         self._decisions[flow] = decision
         self._by_cookie.setdefault(cookie, set()).add(flow)
+        if self.ttl:
+            # Drain due/stale heap records opportunistically so the heap
+            # stays bounded by the TTL window even when nothing ever
+            # calls expire() (lifecycle sweeps disabled).  Runs before
+            # the push, so the fresh record cannot be considered.
+            self.expire(now)
+            self._expiry.push(now + self.ttl, flow, cookie)
         if keep_state and action == "pass":
             self._reverse_candidates += 1
             self.state_table.add(flow, now, rule_origin=rule_text, cookie=cookie)
+        if self.capacity is not None:
+            while len(self._decisions) > self.capacity:
+                self._evict_lru()
         return decision
 
     def lookup(self, flow: FlowSpec, now: float) -> Optional[CachedDecision]:
         """Return the cached decision covering ``flow``, if still valid.
 
         A ``keep state`` pass decision also covers the reverse direction
-        of the flow.
+        of the flow.  TTL-expired entries found on the way are evicted
+        immediately (with their cookie-index and reverse-candidate
+        bookkeeping unwound) rather than left to rot.
         """
         decision = self._decisions.get(flow)
-        if decision is not None and (not self.ttl or now - decision.decided_at <= self.ttl):
-            self.hits += 1
-            return decision
+        if decision is not None:
+            if self._fresh(decision, now):
+                return self._hit(flow, decision)
+            self._expire_entry(flow, decision)
         # Reverse direction of an established (keep state) flow.  Building
         # the reversed FlowSpec costs an allocation, so skip it entirely
         # while no keep-state pass entry exists.
         if self._reverse_candidates:
-            reverse = self._decisions.get(flow.reversed())
-            if (
-                reverse is not None
-                and reverse.keep_state
-                and reverse.is_pass
-                and (not self.ttl or now - reverse.decided_at <= self.ttl)
-            ):
-                self.hits += 1
-                return reverse
+            reverse_flow = flow.reversed()
+            reverse = self._decisions.get(reverse_flow)
+            if reverse is not None and not self._fresh(reverse, now):
+                self._expire_entry(reverse_flow, reverse)
+                reverse = None
+            if reverse is not None and reverse.keep_state and reverse.is_pass:
+                return self._hit(reverse_flow, reverse)
         self.misses += 1
         return None
+
+    def _fresh(self, decision: CachedDecision, now: float) -> bool:
+        return not self.ttl or now - decision.decided_at <= self.ttl
+
+    def _hit(self, flow: FlowSpec, decision: CachedDecision) -> CachedDecision:
+        self.hits += 1
+        if self.capacity is not None:
+            # Refresh recency so hot flows survive LRU pressure.
+            self._decisions.pop(flow)
+            self._decisions[flow] = decision
+        return decision
 
     def invalidate(self, flow: FlowSpec) -> bool:
         """Drop the cached decision for ``flow`` (exact direction)."""
@@ -136,6 +181,64 @@ class DecisionCache:
         self.state_table.remove_by_cookie(cookie)
         return count
 
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def expire(self, now: float) -> int:
+        """Evict every TTL-expired decision; returns how many were dropped.
+
+        Driven by the deadline heap: each pop is validated against the
+        live entry (same flow *and* cookie, still past its TTL) so stale
+        heap records from refreshed entries are skipped harmlessly.
+        """
+        if not self.ttl:
+            return 0
+        dropped = 0
+        for flow, cookie in self._expiry.pop_due(now):
+            decision = self._decisions.get(flow)
+            if decision is None or decision.cookie != cookie:
+                continue  # refreshed, invalidated or already evicted
+            if decision.decided_at + self.ttl > now:
+                # Refreshed in place under the same cookie: the refreshing
+                # store pushed a newer deadline, so dropping this record is
+                # safe.  Strictly greater, not >=, or an entry whose
+                # deadline falls exactly on a sweep instant would consume
+                # its only record while still "fresh" and live forever.
+                continue
+            self._expire_entry(flow, decision)
+            dropped += 1
+        return dropped
+
+    def expirable_count(self) -> int:
+        """Return how many TTL deadlines are still pending.
+
+        Counts heap records (an upper bound on live expirable entries:
+        refreshed/invalidated entries leave stale records behind until
+        their deadline passes).  Zero means no future sweep can reclaim
+        anything, which is what lets the lifecycle service go quiet.
+        """
+        return len(self._expiry) if self.ttl else 0
+
+    def next_expiry(self) -> Optional[float]:
+        """Return the earliest pending TTL deadline (``None`` when idle).
+
+        May be stale (a refreshed entry's old record), in which case the
+        lifecycle sweep it schedules is simply a no-op.
+        """
+        return self._expiry.next_due() if self.ttl else None
+
+    def _expire_entry(self, flow: FlowSpec, decision: CachedDecision) -> None:
+        self._decisions.pop(flow, None)
+        self._drop_entry_bookkeeping(decision)
+        self.expirations += 1
+
+    def _evict_lru(self) -> None:
+        victim_flow = next(iter(self._decisions))
+        victim = self._decisions.pop(victim_flow)
+        self._drop_entry_bookkeeping(victim)
+        self.evictions += 1
+
     def _drop_entry_bookkeeping(self, decision: Optional[CachedDecision]) -> None:
         """Unwind the counters/index for an entry leaving the cache."""
         if decision is None:
@@ -149,16 +252,34 @@ class DecisionCache:
                 del self._by_cookie[decision.cookie]
 
     def clear(self) -> None:
-        """Drop everything."""
+        """Drop everything (the configured state timeout survives)."""
         self._decisions.clear()
         self._by_cookie.clear()
+        self._expiry.clear()
         self._reverse_candidates = 0
-        self.state_table = StateTable()
+        self.state_table = StateTable(timeout=self.state_table.timeout)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
 
     def hit_rate(self) -> float:
         """Return hits / (hits + misses)."""
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float]:
+        """Return the cache's counters (wired into controller summaries)."""
+        return {
+            "entries": float(len(self._decisions)),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "hit_rate": self.hit_rate(),
+            "expirations": float(self.expirations),
+            "evictions": float(self.evictions),
+            "reverse_candidates": float(self._reverse_candidates),
+            "pending_deadlines": float(len(self._expiry)),
+        }
 
     def __len__(self) -> int:
         return len(self._decisions)

@@ -34,14 +34,17 @@ from repro.core.audit import AuditLog, DecisionRecord
 from repro.exceptions import PFError
 from repro.core.cache import DecisionCache
 from repro.core.interception import InterceptionPolicy
+from repro.core.lifecycle import LifecycleService
 from repro.core.policy_engine import PolicyDecision, PolicyEngine
 from repro.identpp.client import QueryClient, QueryInterceptor, QueryOutcome
 from repro.identpp.flowspec import FlowSpec
 from repro.identpp.wire import DEFAULT_QUERY_KEYS, IDENT_PP_PORT, IdentQuery, IdentResponse
+from repro.netsim.events import Event
 from repro.netsim.nodes import Node
 from repro.netsim.statistics import Histogram
 from repro.netsim.topology import Topology
 from repro.openflow.actions import DropAction, FloodAction, OutputAction
+from repro.openflow.channel import DEFAULT_CONTROL_LATENCY
 from repro.openflow.controller_base import Controller
 from repro.openflow.match import Match
 from repro.openflow.messages import PacketIn
@@ -53,7 +56,23 @@ DEFAULT_POLICY_EVAL_DELAY = 100e-6
 
 @dataclass
 class ControllerConfig:
-    """Tunables of an :class:`IdentPPController`."""
+    """Tunables of an :class:`IdentPPController`.
+
+    The lifecycle knobs bound how long lost or dead flow state can live:
+
+    * ``pending_deadline`` — seconds a punted flow may sit in the pending
+      table waiting for a decision before the controller fails closed
+      (drops the buffered packets and audits an ``error`` decision).
+      ``0`` disables the deadline.
+    * ``lifecycle_interval`` — how often the attached
+      :class:`~repro.core.lifecycle.LifecycleService` sweeps the decision
+      cache, the ``keep state`` table and every managed switch's flow
+      table.  ``0`` (the default) leaves sweeping manual so existing
+      simulations keep their exact event timelines.
+    * ``cache_capacity`` — optional LRU bound on the decision cache.
+    * ``state_timeout`` — idle lifetime of ``keep state`` entries (the
+      paper's PF default of 300 s).
+    """
 
     query_keys: tuple[str, ...] = tuple(DEFAULT_QUERY_KEYS)
     install_along_path: bool = True
@@ -64,6 +83,10 @@ class ControllerConfig:
     flow_priority: int = 100
     drop_priority: int = 90
     query_both_ends: bool = True
+    pending_deadline: float = 5.0
+    lifecycle_interval: float = 0.0
+    cache_capacity: Optional[int] = None
+    state_timeout: float = 300.0
 
 
 class IdentPPController(Controller):
@@ -82,24 +105,76 @@ class IdentPPController(Controller):
         self.policy = policy
         self.config = config if config is not None else ControllerConfig()
         self.query_client = QueryClient(topology)
-        self.cache = DecisionCache(ttl=self.config.decision_ttl)
+        self.cache = DecisionCache(
+            ttl=self.config.decision_ttl, capacity=self.config.cache_capacity
+        )
         self.audit = AuditLog(name=f"{name}.audit")
         self.interception = InterceptionPolicy(name=f"{name}.interception")
         self.peer_interceptors: list[QueryInterceptor] = []
         self.flow_setup_latency = Histogram(f"{name}.flow_setup_latency")
         self.query_latency = Histogram(f"{name}.query_latency")
         self._pending: dict[FlowSpec, list[PacketIn]] = {}
+        # When each pending flow was first punted, and the one-shot
+        # fail-closed deadline event armed for it.
+        self._pending_since: dict[FlowSpec, float] = {}
+        self._pending_deadline_events: dict[FlowSpec, Event] = {}
         self._cookie_counter = itertools.count(1)
         # Decisions whose ident++ responses are in but not yet evaluated;
         # everything ready at the same simulated instant is flushed through
         # one PolicyEngine.decide_batch() call.
         self._decision_queue: list[tuple] = []
         self._flush_scheduled = False
+        self.policy_errors = 0
+        self.pending_expired = 0
+        self.lifecycle = LifecycleService(
+            name=f"{name}.lifecycle", interval=self.config.lifecycle_interval
+        )
+        self.cache.state_table.timeout = self.config.state_timeout
+        self.lifecycle.register(
+            "decisions", self.cache.expire, self.cache.expirable_count,
+            self.cache.next_expiry,
+        )
+        # Resolve .state_table per call: DecisionCache.clear() rebinds it,
+        # and a captured bound method would keep sweeping the orphan.
+        self.lifecycle.register(
+            "states",
+            lambda now: self.cache.state_table.expire(now),
+            lambda: self.cache.state_table.expirable_count(),
+            lambda: self.cache.state_table.next_deadline(),
+        )
+        # Punted flows are normally failed closed by their own one-shot
+        # deadline event; the sweep only backstops flows whose event is
+        # missing (sim-less operation, a reset that dropped the queue),
+        # so covered flows don't keep the service ticking.
+        self.lifecycle.register(
+            "pending",
+            self._expire_stale_pending,
+            lambda: len(self._uncovered_pending()),
+            self._next_pending_deadline,
+        )
         self.attach(topology.sim)
 
     # ------------------------------------------------------------------
     # Configuration conveniences
     # ------------------------------------------------------------------
+
+    def attach(self, sim) -> None:
+        """Bind the controller (and its lifecycle service) to a simulator clock."""
+        super().attach(sim)
+        self.lifecycle.attach(sim)
+
+    def register_switch(
+        self, switch: OpenFlowSwitch, *, latency: float = DEFAULT_CONTROL_LATENCY
+    ):
+        """Register a switch and put its flow table under lifecycle management."""
+        channel = super().register_switch(switch, latency=latency)
+        self.lifecycle.register(
+            f"flow_table:{switch.name}",
+            switch.sweep_expired,
+            switch.flow_table.expirable_count,
+            switch.flow_table.next_deadline,
+        )
+        return channel
 
     @property
     def delegations(self):
@@ -151,7 +226,6 @@ class IdentPPController(Controller):
 
         cached = self.cache.lookup(flow, arrival)
         if cached is not None:
-            decision = None
             self._apply_verdict_to_datapath(
                 flow, [message], cached.action == "pass", cached.cookie, keep_state=cached.keep_state
             )
@@ -175,6 +249,19 @@ class IdentPPController(Controller):
             self._pending[flow].append(message)
             return
         self._pending[flow] = [message]
+        self._pending_since[flow] = arrival
+        if self.sim is not None and self.config.pending_deadline > 0:
+            # Fail-closed backstop: if the decision is lost (an exception
+            # mid-pipeline, a dropped event), this fires and drops the
+            # buffered packets instead of stranding the flow forever.  A
+            # completed decision cancels it, so the common path never pays.
+            self._pending_deadline_events[flow] = self.sim.schedule(
+                self.config.pending_deadline,
+                self._pending_deadline_fired,
+                flow,
+                label=f"{self.name}:pending-deadline",
+            )
+        self.lifecycle.kick()
 
         outcomes = self._query_endpoints(flow, message.switch)
         query_cost = QueryClient.combined_latency(outcomes)
@@ -239,21 +326,19 @@ class IdentPPController(Controller):
             )
         except PFError:
             # One mis-evaluating flow must not poison the burst: fall back
-            # to per-flow decisions so every other flow still completes,
-            # then re-raise the first error exactly as the unbatched punt
-            # path would have.
-            first_error: Optional[PFError] = None
+            # to per-flow decisions so every other flow still completes.
+            # The erroring flows themselves fail *closed* — buffered
+            # packets are dropped and the error is audited — rather than
+            # re-raising, which would leak their pending entries and
+            # blackhole the flows permanently.
             for entry in queue:
                 flow, src_doc, dst_doc = entry[0], entry[1], entry[2]
                 try:
                     decision = self.policy.decide(flow, src_doc, dst_doc)
                 except PFError as error:
-                    if first_error is None:
-                        first_error = error
+                    self._fail_closed(entry, error)
                     continue
                 self._finish_decision(entry, decision)
-            if first_error is not None:
-                raise first_error
             return
         for entry, decision in zip(queue, decisions):
             self._finish_decision(entry, decision)
@@ -270,13 +355,110 @@ class IdentPPController(Controller):
             keep_state=decision.keep_state,
             rule_text=decision.rule_text,
         )
-        pending = self._pending.pop(flow, [])
+        pending = self._pop_pending(flow)
         self._apply_verdict_to_datapath(
             flow, pending, decision.is_pass, cookie, keep_state=decision.keep_state
         )
         query_cost = QueryClient.combined_latency(outcomes)
         self.flow_setup_latency.observe(self.now - arrival)
         self._audit_decision(decision, cookie, query_cost)
+        self.lifecycle.kick()
+
+    def _fail_closed(self, entry: tuple, error: PFError) -> None:
+        """Resolve an erroring flow as an audited drop (``rule_origin="error"``).
+
+        The block is cached with the normal TTL so a chatty erroring flow
+        does not re-trigger the failure on every packet, yet gets
+        re-evaluated once the administrator fixes the policy.
+        """
+        flow, _, _, _, arrival = entry
+        self.policy_errors += 1
+        self._resolve_fail_closed(
+            flow,
+            f"policy evaluation failed: {error}",
+            cache_rule_text=f"error: {error}",
+        )
+        self.flow_setup_latency.observe(self.now - arrival)
+        self.lifecycle.kick()
+
+    def _resolve_fail_closed(
+        self, flow: FlowSpec, note: str, *, cache_rule_text: Optional[str] = None
+    ) -> str:
+        """Shared fail-closed resolution: drop buffered punts + audit the error.
+
+        With ``cache_rule_text`` the block is also cached (negative cache
+        for the TTL); without it the next punt re-runs the pipeline.
+        Returns the decision cookie.
+        """
+        cookie = f"{self.name}:decision-{next(self._cookie_counter)}"
+        if cache_rule_text is not None:
+            self.cache.store(flow, "block", cookie, self.now, rule_text=cache_rule_text)
+        pending = self._pop_pending(flow)
+        self._apply_verdict_to_datapath(flow, pending, False, cookie, keep_state=False)
+        self.audit.record(
+            DecisionRecord(
+                time=self.now,
+                flow=flow,
+                action="block",
+                rule_text="",
+                rule_origin="error",
+                cookie=cookie,
+                note=note,
+            )
+        )
+        return cookie
+
+    def _pop_pending(self, flow: FlowSpec) -> list[PacketIn]:
+        """Claim a flow's buffered punts, disarming its fail-closed deadline."""
+        self._pending_since.pop(flow, None)
+        deadline = self._pending_deadline_events.pop(flow, None)
+        if deadline is not None:
+            deadline.cancel()
+        return self._pending.pop(flow, [])
+
+    def _pending_deadline_fired(self, flow: FlowSpec) -> None:
+        """One-shot deadline: the decision for ``flow`` never arrived."""
+        if flow in self._pending:
+            self._expire_pending_flow(flow)
+
+    def _uncovered_pending(self) -> list[FlowSpec]:
+        """Return pending flows with no armed one-shot deadline event."""
+        if self.config.pending_deadline <= 0:
+            return []
+        return [
+            flow for flow in self._pending_since
+            if flow not in self._pending_deadline_events
+        ]
+
+    def _next_pending_deadline(self) -> Optional[float]:
+        """Return when the oldest *uncovered* pending punt hits its deadline."""
+        uncovered = self._uncovered_pending()
+        if not uncovered:
+            return None
+        since = min(self._pending_since[flow] for flow in uncovered)
+        return since + self.config.pending_deadline
+
+    def _expire_stale_pending(self, now: float) -> int:
+        """Lifecycle sweep: fail-close uncovered pending flows past their deadline."""
+        deadline = self.config.pending_deadline
+        stale = [
+            flow for flow in self._uncovered_pending()
+            if now - self._pending_since[flow] > deadline
+        ]
+        for flow in stale:
+            self._expire_pending_flow(flow)
+        return len(stale)
+
+    def _expire_pending_flow(self, flow: FlowSpec) -> None:
+        """Drop a stranded flow's buffered packets and audit the failure.
+
+        No decision is cached: if the real decision still arrives later it
+        applies normally, and the next punt re-runs the pipeline.
+        """
+        self.pending_expired += 1
+        self._resolve_fail_closed(
+            flow, "pending decision deadline exceeded; failing closed"
+        )
 
     def _audit_decision(self, decision: PolicyDecision, cookie: str, query_cost: float) -> None:
         for principal in decision.principals:
@@ -324,6 +506,11 @@ class IdentPPController(Controller):
                     [DropAction()],
                     priority=self.config.drop_priority,
                     idle_timeout=self.config.idle_timeout,
+                    # A chatty blocked flow refreshes the idle timer forever;
+                    # the hard cap keeps the datapath's negative cache from
+                    # outliving the controller cache, so the flow is
+                    # re-evaluated after a policy change.
+                    hard_timeout=self.config.decision_ttl,
                     cookie=cookie,
                     buffer_id=message.buffer_id,
                 )
@@ -478,6 +665,13 @@ class IdentPPController(Controller):
             "cache": {
                 "entries": len(self.cache),
                 "hit_rate": self.cache.hit_rate(),
+                **{k: v for k, v in self.cache.stats().items()
+                   if k not in ("entries", "hit_rate")},
             },
+            "state_table": self.cache.state_table.stats(),
+            "lifecycle": self.lifecycle.stats(),
+            "pending_flows": len(self._pending),
+            "pending_expired": self.pending_expired,
+            "policy_errors": self.policy_errors,
             "policy": self.policy.stats(),
         }

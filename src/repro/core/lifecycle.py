@@ -1,0 +1,238 @@
+"""Flow-state lifecycle: reclaiming decision state under churn.
+
+The ident++ design caches every decision in three places — the
+controller :class:`~repro.core.cache.DecisionCache`, the ``keep state``
+:class:`~repro.pf.state.StateTable` and the switch flow tables (§3.1's
+"the flow table ... is also the ident++ decision cache").  At enterprise
+scale those caches see heavy churn: short-lived flows arrive far faster
+than their TTLs expire, so without an explicit lifecycle the working set
+grows without bound and a long-running controller eventually holds state
+for millions of dead flows.
+
+This module provides the two pieces that keep state bounded:
+
+* :class:`ExpiryHeap` — a lazily-invalidated min-heap of deadlines, so
+  sweeping a cache costs ``O(expired log n)`` instead of a full scan;
+* :class:`LifecycleService` — a sweep scheduler that periodically runs
+  every registered reclaimer (decision cache, state table, per-switch
+  flow tables, stale pending punts) while there is state left to
+  reclaim, then goes quiet so the event queue can drain.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Iterator, Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.netsim.events import RepeatingEvent, Simulator
+
+#: How often the lifecycle sweeps when enabled, seconds of simulated time.
+DEFAULT_SWEEP_INTERVAL = 1.0
+
+
+class ExpiryHeap:
+    """A min-heap of ``(due, key, token)`` deadlines with lazy invalidation.
+
+    Owners push a deadline whenever they (re)insert an entry; a refreshed
+    or replaced entry simply pushes a new deadline and leaves the old one
+    in the heap.  :meth:`pop_due` therefore yields *candidates*: the
+    owner must check the entry is still the one the deadline was pushed
+    for (the ``token``, typically the decision cookie) before evicting.
+    """
+
+    __slots__ = ("_heap", "_seq")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, tuple[object, object]]] = []
+        # Insertion-order tiebreaker keeps equal-deadline pops deterministic.
+        self._seq = itertools.count()
+
+    def push(self, due: float, key: object, token: object = None) -> None:
+        """Register that ``key`` (qualified by ``token``) expires at ``due``."""
+        heapq.heappush(self._heap, (due, next(self._seq), (key, token)))
+
+    def pop_due(self, now: float) -> Iterator[tuple[object, object]]:
+        """Yield and remove every ``(key, token)`` whose deadline has passed."""
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            _, _, payload = heapq.heappop(heap)
+            yield payload
+
+    def next_due(self) -> Optional[float]:
+        """Return the earliest pending deadline (stale ones included)."""
+        return self._heap[0][0] if self._heap else None
+
+    def clear(self) -> None:
+        """Drop all deadlines."""
+        self._heap.clear()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
+class LifecycleService:
+    """Periodic reclamation across every cache a controller owns.
+
+    Reclaimers register as ``(label, sweep, reclaimable[, next_deadline])``
+    where ``sweep(now)`` removes expired entries and returns how many it
+    dropped, and ``reclaimable()`` reports how many entries a *future*
+    sweep could still remove (entries without any timeout must not be
+    counted, or the service would tick forever over state that can never
+    expire and an unbounded ``Simulator.run()`` would never drain).
+    While attached to a simulator with a positive ``interval``, the
+    service keeps sweeping for as long as any reclaimer reports
+    reclaimable state; once nothing is left to expire it deschedules
+    itself (so an idle simulation can finish) and is re-armed by the
+    next :meth:`kick`.
+
+    The optional ``next_deadline()`` hint returns the earliest moment a
+    reclaimer's state can expire (or ``None`` for "unknown").  When every
+    reclaimer that still holds state provides one, the service sleeps
+    straight to the earliest deadline instead of polling every
+    ``interval`` — so a ``keep state`` table with a 300 s timeout costs
+    one wake-up, not three thousand.  A stale (too early) hint merely
+    causes one extra no-op sweep.
+
+    With ``interval == 0`` nothing is ever scheduled; :meth:`sweep` can
+    still be called manually, which is what the soak harness does.
+    """
+
+    def __init__(self, name: str = "lifecycle", *, interval: float = DEFAULT_SWEEP_INTERVAL) -> None:
+        self.name = name
+        self.interval = interval
+        self._targets: list[
+            tuple[
+                str,
+                Callable[[float], int],
+                Callable[[], int],
+                Optional[Callable[[], Optional[float]]],
+            ]
+        ] = []
+        self._sim: Optional["Simulator"] = None
+        self._ticker: Optional["RepeatingEvent"] = None
+        self.sweeps = 0
+        self.reclaimed: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        label: str,
+        sweep: Callable[[float], int],
+        reclaimable: Callable[[], int],
+        next_deadline: Optional[Callable[[], Optional[float]]] = None,
+    ) -> None:
+        """Add one reclaimer (idempotent per label; later wins)."""
+        self._targets = [t for t in self._targets if t[0] != label]
+        self._targets.append((label, sweep, reclaimable, next_deadline))
+        self.reclaimed.setdefault(label, 0)
+
+    def attach(self, sim: "Simulator") -> None:
+        """Bind to a simulator clock (sweeps are scheduled on :meth:`kick`)."""
+        self._sim = sim
+
+    @property
+    def enabled(self) -> bool:
+        """Return ``True`` when periodic sweeping is configured."""
+        return self.interval > 0 and self._sim is not None
+
+    @property
+    def scheduled(self) -> bool:
+        """Return ``True`` while a sweep is queued on the simulator."""
+        return self._ticker is not None and self._ticker.scheduled
+
+    def kick(self) -> None:
+        """Ensure a sweep is queued (no-op when disabled or already queued)."""
+        if not self.enabled or self.scheduled:
+            return
+        if self._ticker is None:
+            self._ticker = self._sim.schedule_repeating(
+                self.interval, self._tick, label=f"{self.name}:sweep"
+            )
+        else:
+            # _tick may have stretched the delay toward a far deadline;
+            # a fresh kick means fresh state, so restart at the base rate.
+            self._ticker.interval = self.interval
+            self._ticker.start()
+
+    def stop(self) -> None:
+        """Cancel the queued sweep, if any."""
+        if self._ticker is not None:
+            self._ticker.cancel()
+
+    # ------------------------------------------------------------------
+    # Sweeping
+    # ------------------------------------------------------------------
+
+    def sweep(self, now: float) -> dict[str, int]:
+        """Run every reclaimer once; returns per-label counts for this sweep."""
+        self.sweeps += 1
+        dropped: dict[str, int] = {}
+        for label, sweep_fn, _, _ in self._targets:
+            count = int(sweep_fn(now))
+            dropped[label] = count
+            self.reclaimed[label] = self.reclaimed.get(label, 0) + count
+        return dropped
+
+    def reclaimable_state(self) -> int:
+        """Return how many entries future sweeps could still remove."""
+        return sum(reclaimable() for _, _, reclaimable, _ in self._targets)
+
+    def _next_delay(self, now: float) -> float:
+        """Return how long to sleep before the next sweep.
+
+        Falls back to the fixed ``interval`` as soon as one reclaimer
+        with reclaimable state cannot say when it next expires.
+        """
+        earliest: Optional[float] = None
+        for _, _, reclaimable, next_deadline in self._targets:
+            if reclaimable() <= 0:
+                continue
+            due = next_deadline() if next_deadline is not None else None
+            if due is None:
+                return self.interval
+            if earliest is None or due < earliest:
+                earliest = due
+        if earliest is None:
+            return self.interval
+        return max(self.interval, earliest - now)
+
+    def _tick(self) -> bool:
+        assert self._sim is not None
+        now = self._sim.now
+        self.sweep(now)
+        # Keep ticking only while a future sweep can actually reclaim
+        # something; otherwise go quiet and wait for the next kick().
+        # Keying on raw entry counts instead would spin forever over
+        # timeout-less state and hang an unbounded Simulator.run().
+        if self.reclaimable_state() <= 0:
+            return False
+        if self._ticker is not None:
+            # Sleep straight to the earliest known deadline rather than
+            # polling: the ticker re-reads its interval on reschedule.
+            self._ticker.interval = self._next_delay(now)
+        return True
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def total_reclaimed(self) -> int:
+        """Return how many entries all sweeps together removed."""
+        return sum(self.reclaimed.values())
+
+    def stats(self) -> dict[str, object]:
+        """Return the service's counters (wired into controller summaries)."""
+        return {
+            "interval": self.interval,
+            "enabled": self.enabled,
+            "scheduled": self.scheduled,
+            "sweeps": self.sweeps,
+            "reclaimed": dict(self.reclaimed),
+            "reclaimed_total": self.total_reclaimed(),
+            "reclaimable_entries": self.reclaimable_state(),
+        }

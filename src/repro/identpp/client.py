@@ -86,6 +86,9 @@ class QueryClient:
         self.queries_sent = Counter("query_client.queries_sent")
         self.queries_intercepted = Counter("query_client.queries_intercepted")
         self.queries_timed_out = Counter("query_client.queries_timed_out")
+        # (link count, mean link latency) — recomputed only when the
+        # topology grows/shrinks, not on every intercepted query.
+        self._mean_link_latency: Optional[tuple[int, float]] = None
 
     # ------------------------------------------------------------------
     # Queries
@@ -199,10 +202,16 @@ class QueryClient:
 
     def _interceptor_latency(self, from_node: Optional[Node]) -> float:
         # An interceptor sits on the path; charge a single hop either way
-        # as an approximation of "closer than the end-host".
+        # as an approximation of "closer than the end-host".  The mean is
+        # cached against the O(1) link count so a punt-heavy run neither
+        # copies the link list nor re-sums latencies per intercepted query.
         if from_node is None:
             return 0.0
-        links = [link.latency for link in self.topology.links()]
-        if not links:
-            return 0.0
-        return 2.0 * (sum(links) / len(links))
+        count = self.topology.link_count()
+        cached = self._mean_link_latency
+        if cached is None or cached[0] != count:
+            links = self.topology.links()
+            mean = sum(link.latency for link in links) / count if count else 0.0
+            cached = (count, mean)
+            self._mean_link_latency = cached
+        return 2.0 * cached[1]

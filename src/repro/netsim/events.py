@@ -36,6 +36,58 @@ class Event:
         self.cancelled = True
 
 
+class RepeatingEvent:
+    """A self-rescheduling callback with a termination condition.
+
+    The callback runs every ``interval`` seconds of simulated time and
+    returns whether to keep running: a falsy return (or :meth:`cancel`)
+    stops the cycle and lets the event queue drain.  Services that sweep
+    periodically (flow-state lifecycle, statistics collection) use this
+    instead of scheduling themselves unconditionally, which would keep
+    :meth:`Simulator.run` from ever reaching an empty queue.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        interval: float,
+        callback: Callable[[], object],
+        *,
+        label: str = "",
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"repeating interval must be positive (got {interval})")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.label = label
+        self.fires = 0
+        self._event: Optional[Event] = None
+
+    @property
+    def scheduled(self) -> bool:
+        """Return ``True`` while a next firing is queued."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self) -> "RepeatingEvent":
+        """Queue the next firing (idempotent while already scheduled)."""
+        if not self.scheduled:
+            self._event = self.sim.schedule(self.interval, self._fire, label=self.label)
+        return self
+
+    def cancel(self) -> None:
+        """Stop the cycle; the pending firing (if any) is cancelled."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self.fires += 1
+        if self.callback():
+            self.start()
+
+
 class Simulator:
     """A discrete-event simulator clock and event queue.
 
@@ -119,6 +171,21 @@ class Simulator:
     def call_now(self, callback: Callable[..., None], *args: Any, **kwargs: Any) -> Event:
         """Schedule a callback to run at the current time (after already-queued events at this time)."""
         return self.schedule(0.0, callback, *args, **kwargs)
+
+    def schedule_repeating(
+        self,
+        interval: float,
+        callback: Callable[[], object],
+        *,
+        label: str = "",
+    ) -> RepeatingEvent:
+        """Run ``callback`` every ``interval`` seconds while it returns truthy.
+
+        Returns the started :class:`RepeatingEvent`; the caller may
+        :meth:`RepeatingEvent.cancel` it or :meth:`RepeatingEvent.start`
+        it again after it stopped itself.
+        """
+        return RepeatingEvent(self, interval, callback, label=label).start()
 
     # ------------------------------------------------------------------
     # Execution

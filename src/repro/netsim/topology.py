@@ -126,6 +126,10 @@ class Topology:
         """Return all links in creation order."""
         return list(self._links)
 
+    def link_count(self) -> int:
+        """Return the number of links without copying the link list."""
+        return len(self._links)
+
     def link_between(self, node_a: Node | str, node_b: Node | str) -> Optional[Link]:
         """Return the link directly connecting two nodes, or ``None``."""
         name_a = self._resolve(node_a).name

@@ -95,6 +95,10 @@ class FlowTable:
         # header-tuple -> best entry from a previous full scan; valid until
         # the table is modified (any install/remove/evict/expiry clears it).
         self._exact_cache: dict[tuple, FlowEntry] = {}
+        # (match, priority) -> entry, so installs replace duplicates in
+        # O(1) instead of scanning the table (install() keeps the pair
+        # unique, so the index can never alias two live entries).
+        self._same_index: dict[tuple[Match, int], FlowEntry] = {}
         self.lookups = 0
         self.hits = 0
         self.misses = 0
@@ -129,6 +133,7 @@ class FlowTable:
         entry.installed_at = now
         entry.last_used_at = now
         self._entries.append(entry)
+        self._same_index[(entry.match, entry.priority)] = entry
         return entry
 
     def remove(self, match: Match, *, strict: bool = False) -> int:
@@ -139,41 +144,44 @@ class FlowTable:
         removed (OpenFlow delete semantics).  Returns the number removed.
         """
         if strict:
-            survivors = [e for e in self._entries if e.match != match]
+            victims = [e for e in self._entries if e.match == match]
         else:
-            survivors = [e for e in self._entries if not match.covers(e.match)]
-        removed = len(self._entries) - len(survivors)
-        self._entries = survivors
-        if removed:
-            self._exact_cache.clear()
-        return removed
+            victims = [e for e in self._entries if match.covers(e.match)]
+        if victims:
+            self._discard(victims)
+        return len(victims)
 
     def remove_by_cookie(self, cookie: str) -> int:
         """Remove every entry with the given cookie (used for policy revocation)."""
-        survivors = [e for e in self._entries if e.cookie != cookie]
-        removed = len(self._entries) - len(survivors)
-        self._entries = survivors
-        if removed:
-            self._exact_cache.clear()
-        return removed
+        victims = [e for e in self._entries if e.cookie == cookie]
+        if victims:
+            self._discard(victims)
+        return len(victims)
 
     def clear(self) -> None:
         """Remove all entries."""
         self._entries.clear()
         self._exact_cache.clear()
+        self._same_index.clear()
 
     def _find_same(self, match: Match, priority: int) -> Optional[FlowEntry]:
-        for entry in self._entries:
-            if entry.priority == priority and entry.match == match:
-                return entry
-        return None
+        return self._same_index.get((match, priority))
+
+    def _discard(self, victims: Sequence[FlowEntry]) -> None:
+        """Drop ``victims`` from the table, keeping both indexes in sync."""
+        gone = {id(e) for e in victims}
+        self._entries = [e for e in self._entries if id(e) not in gone]
+        for entry in victims:
+            key = (entry.match, entry.priority)
+            if self._same_index.get(key) is entry:
+                del self._same_index[key]
+        self._exact_cache.clear()
 
     def _evict_lru(self) -> None:
         if not self._entries:
             return
         victim = min(self._entries, key=lambda e: (e.last_used_at, e.sequence))
-        self._entries.remove(victim)
-        self._exact_cache.clear()
+        self._discard([victim])
         self.evictions += 1
 
     # ------------------------------------------------------------------
@@ -241,8 +249,7 @@ class FlowTable:
         """Remove and return entries whose timeouts have elapsed."""
         expired = [e for e in self._entries if e.is_expired(now)]
         if expired:
-            self._entries = [e for e in self._entries if not e.is_expired(now)]
-            self._exact_cache.clear()
+            self._discard(expired)
             self.expirations += len(expired)
         return expired
 
@@ -262,6 +269,31 @@ class FlowTable:
     def find(self, predicate: Callable[[FlowEntry], bool]) -> list[FlowEntry]:
         """Return entries satisfying ``predicate``."""
         return [entry for entry in self._entries if predicate(entry)]
+
+    def expirable_count(self) -> int:
+        """Return how many entries carry a timeout a future sweep could reclaim."""
+        return sum(1 for e in self._entries if e.idle_timeout or e.hard_timeout)
+
+    def next_deadline(self) -> Optional[float]:
+        """Return the earliest moment any entry can expire (``None`` when none can).
+
+        Idle deadlines are computed from the current ``last_used_at``, so
+        traffic that keeps refreshing an entry makes this a lower bound —
+        exactly what a sweep scheduler needs (waking early is a no-op).
+        """
+        earliest: Optional[float] = None
+        for entry in self._entries:
+            candidates = []
+            if entry.hard_timeout:
+                candidates.append(entry.installed_at + entry.hard_timeout)
+            if entry.idle_timeout:
+                candidates.append(entry.last_used_at + entry.idle_timeout)
+            if not candidates:
+                continue
+            due = min(candidates)
+            if earliest is None or due < earliest:
+                earliest = due
+        return earliest
 
     def hit_rate(self) -> float:
         """Return hits / lookups (0.0 when no lookups happened)."""

@@ -140,6 +140,20 @@ class OpenFlowSwitch(Node):
         """Return how many punted packets are still waiting for a controller verdict."""
         return len(self._buffered)
 
+    def sweep_expired(self, now: float) -> int:
+        """Expire timed-out flow entries and notify the controller.
+
+        A switch normally ages its table as a side effect of traffic
+        (:meth:`receive`); an idle switch never does, which is what lets
+        dead entries pin memory forever.  The controller's lifecycle
+        service calls this periodically so reclamation does not depend on
+        packets arriving.  Returns how many entries were removed.
+        """
+        expired = self.flow_table.expire(now)
+        for entry in expired:
+            self._notify_removed(entry)
+        return len(expired)
+
     # ------------------------------------------------------------------
     # Datapath
     # ------------------------------------------------------------------

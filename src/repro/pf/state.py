@@ -113,6 +113,26 @@ class StateTable:
         """Iterate over current entries."""
         return iter(list(self._entries.values()))
 
+    def expirable_count(self) -> int:
+        """Return how many entries a future :meth:`expire` could reclaim."""
+        return len(self._entries) if self.timeout else 0
+
+    def next_deadline(self) -> Optional[float]:
+        """Return when the least-recently-seen entry times out (``None`` when idle)."""
+        if not self.timeout or not self._entries:
+            return None
+        return min(entry.last_seen for entry in self._entries.values()) + self.timeout
+
+    def stats(self) -> dict[str, float]:
+        """Return the table's counters (wired into controller summaries)."""
+        return {
+            "entries": float(len(self._entries)),
+            "insertions": float(self.insertions),
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "expirations": float(self.expirations),
+        }
+
     def __len__(self) -> int:
         return len(self._entries)
 

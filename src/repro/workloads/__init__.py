@@ -13,8 +13,12 @@
 * :mod:`repro.workloads.scenarios` — one scenario class per experiment
   (E1–E9), each exposing ``run()``/``results()`` used by the examples,
   the integration tests and the benchmark harness.
+* :mod:`repro.workloads.churn` — the churn/soak workload that drives
+  ~100k short-lived flows through the decision components and checks
+  flow-state stays bounded and policy errors fail closed.
 """
 
+from repro.workloads.churn import ChurnConfig, ChurnReport, ChurnSoak, error_probe
 from repro.workloads.generators import FlowGenerator, FlowTemplate, zipf_weights
 from repro.workloads.enterprise import (
     build_branch_network,
@@ -24,6 +28,10 @@ from repro.workloads.enterprise import (
 from repro.workloads import paper_configs, scenarios
 
 __all__ = [
+    "ChurnConfig",
+    "ChurnReport",
+    "ChurnSoak",
+    "error_probe",
     "FlowGenerator",
     "FlowTemplate",
     "zipf_weights",

@@ -1,0 +1,400 @@
+"""Flow-state lifecycle: bounded caches, fail-closed punts, expiry bookkeeping."""
+
+import pytest
+
+from repro.core.cache import DecisionCache
+from repro.core.controller import ControllerConfig
+from repro.core.lifecycle import ExpiryHeap, LifecycleService
+from repro.core.network import HostSpec, IdentPPNetwork
+from repro.identpp.flowspec import FlowSpec
+from repro.netsim.events import Simulator
+
+
+POLICY = {
+    "00-default.control": (
+        'approved = "{ http ssh }"\n'
+        "block all\n"
+        "pass from any to any with member(@src[name], $approved) keep state\n"
+    ),
+}
+
+#: Evaluating a port-6666 flow calls an unregistered function -> PFError.
+ERROR_POLICY = {
+    "00-error.control": (
+        "block all\n"
+        "pass from any to any port 80 keep state\n"
+        "pass from any to any port 6666 with bogus(@src[name])\n"
+    ),
+}
+
+
+def build_network(policy=None, config=None):
+    net = IdentPPNetwork("lifecycle-net", controller_config=config)
+    left = net.add_switch("sw-left")
+    right = net.add_switch("sw-right")
+    net.connect(left, right)
+    net.add_host(
+        HostSpec(name="client", ip="192.168.0.10", users={"alice": ("users", "staff")}),
+        switch=left,
+    )
+    server = net.add_host(HostSpec(name="server", ip="192.168.1.1", users={}), switch=right)
+    server.run_server("httpd", "root", 80)
+    net.set_policy(policy or POLICY)
+    return net
+
+
+class TestExpiryHeap:
+    def test_pop_due_returns_only_due_payloads_in_order(self):
+        heap = ExpiryHeap()
+        heap.push(3.0, "c", "t3")
+        heap.push(1.0, "a", "t1")
+        heap.push(2.0, "b", "t2")
+        assert list(heap.pop_due(2.0)) == [("a", "t1"), ("b", "t2")]
+        assert len(heap) == 1
+        assert heap.next_due() == 3.0
+
+    def test_equal_deadlines_pop_in_insertion_order(self):
+        heap = ExpiryHeap()
+        heap.push(1.0, "first", None)
+        heap.push(1.0, "second", None)
+        assert [key for key, _ in heap.pop_due(1.0)] == ["first", "second"]
+
+    def test_clear(self):
+        heap = ExpiryHeap()
+        heap.push(1.0, "a")
+        heap.clear()
+        assert len(heap) == 0 and heap.next_due() is None
+
+
+class TestDecisionCacheLifecycle:
+    def flow(self, port=1000):
+        return FlowSpec.tcp("10.0.0.1", "10.0.1.1", port, 80)
+
+    def test_expired_lookup_evicts_and_unwinds_bookkeeping(self):
+        cache = DecisionCache(ttl=1.0)
+        flow = self.flow()
+        cache.store(flow, "pass", "c1", 0.0, keep_state=True)
+        assert len(cache) == 1 and cache._reverse_candidates == 1
+        assert cache.lookup(flow, 5.0) is None
+        # The stale entry is gone, not just invisible.
+        assert len(cache) == 0
+        assert cache._reverse_candidates == 0
+        assert cache._by_cookie == {}
+        assert cache.expirations == 1
+
+    def test_expired_reverse_entry_evicted_on_lookup(self):
+        cache = DecisionCache(ttl=1.0)
+        flow = self.flow()
+        cache.store(flow, "pass", "c1", 0.0, keep_state=True)
+        # Reverse lookup within TTL hits; after TTL it evicts the entry.
+        assert cache.lookup(flow.reversed(), 0.5) is not None
+        assert cache.lookup(flow.reversed(), 5.0) is None
+        assert len(cache) == 0 and cache._reverse_candidates == 0
+
+    def test_heap_expire_sweeps_only_due_entries(self):
+        cache = DecisionCache(ttl=1.0)
+        old, fresh = self.flow(1000), self.flow(1001)
+        cache.store(old, "pass", "c1", 0.0, keep_state=True)
+        cache.store(fresh, "block", "c2", 0.5)
+        assert cache.expire(1.2) == 1  # old (due 1.0) expires, fresh (due 1.5) stays
+        assert old not in cache and fresh in cache
+        assert cache._reverse_candidates == 0
+
+    def test_store_drains_due_entries_itself(self):
+        # A store whose clock has moved past another entry's deadline
+        # evicts it on the spot (no sweep needed).
+        cache = DecisionCache(ttl=1.0)
+        old, fresh = self.flow(1000), self.flow(1001)
+        cache.store(old, "pass", "c1", 0.0)
+        cache.store(fresh, "block", "c2", 5.0)
+        assert old not in cache and fresh in cache
+        assert cache.expirations == 1
+
+    def test_expire_at_exact_deadline_still_evicts(self):
+        # Regression: an entry whose deadline coincides with the sweep
+        # instant must not consume its heap record while staying cached.
+        cache = DecisionCache(ttl=2.0)
+        flow = self.flow()
+        cache.store(flow, "pass", "c1", 0.0)
+        assert cache.expire(2.0) == 1
+        assert len(cache) == 0
+
+    def test_refreshed_entry_survives_stale_heap_record(self):
+        cache = DecisionCache(ttl=1.0)
+        flow = self.flow()
+        cache.store(flow, "pass", "c1", 0.0)
+        cache.store(flow, "pass", "c2", 2.0)  # refreshed under a new cookie
+        assert cache.expire(1.5) == 0  # c1's record is stale, c2 not due
+        assert cache.lookup(flow, 2.5).cookie == "c2"
+        assert cache.expire(3.5) == 1
+        assert len(cache) == 0
+
+    def test_capacity_bound_evicts_lru(self):
+        cache = DecisionCache(ttl=0.0, capacity=2)
+        a, b, c = self.flow(1), self.flow(2), self.flow(3)
+        cache.store(a, "pass", "ca", 0.0, keep_state=True)
+        cache.store(b, "pass", "cb", 0.0)
+        cache.lookup(a, 0.0)  # refresh a's recency; b becomes the victim
+        cache.store(c, "pass", "cc", 0.0)
+        assert len(cache) == 2
+        assert a in cache and c in cache and b not in cache
+        assert cache.evictions == 1
+        # Evicting a keep-state pass later unwinds the reverse counter.
+        cache.store(self.flow(4), "pass", "cd", 0.0)
+        cache.store(self.flow(5), "pass", "ce", 0.0)
+        assert cache._reverse_candidates == 0
+
+    def test_expiry_heap_stays_bounded_without_sweeps(self):
+        # Regression: with lifecycle sweeps disabled, store() itself must
+        # drain due heap records or the heap grows one record per
+        # decision forever (unbounded memory under churn).
+        cache = DecisionCache(ttl=1.0)
+        for i in range(500):
+            cache.store(self.flow(i % 100), "pass", f"c{i}", float(i))
+        # Only records still inside the TTL window may remain.
+        assert cache.expirable_count() <= 2
+        assert len(cache) == 1  # everything older than the TTL was evicted
+
+    def test_stats_shape(self):
+        cache = DecisionCache(ttl=1.0, capacity=8)
+        cache.store(self.flow(), "pass", "c1", 0.0, keep_state=True)
+        stats = cache.stats()
+        for key in ("entries", "hits", "misses", "hit_rate", "expirations",
+                    "evictions", "reverse_candidates", "pending_deadlines"):
+            assert key in stats
+        assert stats["entries"] == 1.0
+        assert stats["reverse_candidates"] == 1.0
+
+
+class TestLifecycleService:
+    def test_manual_sweep_accumulates_reclaimed(self):
+        cache = DecisionCache(ttl=1.0)
+        cache.store(FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1, 2), "pass", "c", 0.0)
+        service = LifecycleService()
+        service.register("decisions", cache.expire, lambda: len(cache))
+        assert service.sweep(0.5) == {"decisions": 0}
+        assert service.sweep(2.0) == {"decisions": 1}
+        assert service.reclaimed["decisions"] == 1
+        assert service.total_reclaimed() == 1
+        assert service.stats()["sweeps"] == 2
+
+    def test_periodic_sweeping_stops_when_state_drains(self):
+        sim = Simulator()
+        cache = DecisionCache(ttl=1.0)
+        cache.store(FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1, 2), "pass", "c", 0.0)
+        service = LifecycleService(interval=0.5)
+        service.register("decisions", cache.expire, lambda: len(cache))
+        service.attach(sim)
+        service.kick()
+        # The queue must drain by itself: the service deschedules once the
+        # cache is empty instead of ticking forever.
+        sim.run()
+        assert len(cache) == 0
+        assert not service.scheduled
+        # Sweeps at 0.5 and 1.0; the 1.0 sweep lands exactly on the TTL
+        # deadline, evicts, and the now-idle service deschedules itself.
+        assert sim.now == pytest.approx(1.0)
+
+    def test_unexpirable_state_does_not_hang_the_simulator(self):
+        # ttl=0 entries can never expire; the service must not keep
+        # rescheduling sweeps over them, or an unbounded run() never ends.
+        sim = Simulator()
+        cache = DecisionCache(ttl=0.0)
+        cache.store(FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1, 2), "pass", "c", 0.0)
+        service = LifecycleService(interval=0.5)
+        service.register("decisions", cache.expire, cache.expirable_count)
+        service.attach(sim)
+        service.kick()
+        sim.run()  # would never return if _tick kept returning True
+        assert len(cache) == 1  # the entry legitimately stays
+        assert not service.scheduled
+
+    def test_sweep_follows_state_table_rebind_after_clear(self):
+        # DecisionCache.clear() replaces .state_table; the registered
+        # reclaimer must resolve the attribute per call, not capture the
+        # orphaned bound method — and the configured timeout must survive.
+        net = build_network()
+        controller = net.controller
+        controller.cache.state_table.timeout = 1.0
+        controller.cache.clear()
+        assert controller.cache.state_table.timeout == 1.0
+        controller.cache.state_table.add(
+            FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1, 2), 0.0, cookie="c"
+        )
+        swept = controller.lifecycle.sweep(100.0)
+        assert swept["states"] == 1
+        assert len(controller.cache.state_table) == 0
+
+    def test_kick_rearms_after_idle(self):
+        sim = Simulator()
+        cache = DecisionCache(ttl=1.0)
+        service = LifecycleService(interval=0.5)
+        service.register("decisions", cache.expire, lambda: len(cache))
+        service.attach(sim)
+        service.kick()
+        sim.run()
+        assert not service.scheduled
+        cache.store(FlowSpec.tcp("1.1.1.1", "2.2.2.2", 1, 2), "pass", "c", sim.now)
+        service.kick()
+        assert service.scheduled
+        sim.run()
+        assert len(cache) == 0
+
+
+class TestFailClosedPuntPipeline:
+    def test_policy_error_drops_audits_and_leaves_no_pending(self):
+        net = build_network(policy=ERROR_POLICY)
+        result = net.send_flow("client", "http", "alice", "192.168.1.1", 6666)
+        controller = net.controller
+        assert not result.delivered
+        # Regression: the erroring flow's pending entry used to leak and
+        # its buffered PacketIns were stranded at the switches forever.
+        assert controller._pending == {}
+        assert controller._pending_deadline_events == {}
+        assert all(s.buffered_count() == 0 for s in net.switches.values())
+        errors = [r for r in controller.audit.records() if r.rule_origin == "error"]
+        assert len(errors) == 1
+        assert errors[0].action == "block"
+        assert "policy evaluation failed" in errors[0].note
+        assert controller.policy_errors == 1
+        # The healthy rule set still works after the failure.
+        ok = net.send_flow("client", "http", "alice", "192.168.1.1", 80)
+        assert ok.delivered
+
+    def test_error_decision_is_cached_as_block(self):
+        net = build_network(policy=ERROR_POLICY)
+        net.send_flow("client", "http", "alice", "192.168.1.1", 6666)
+        flow = net.controller.audit.records()[-1].flow
+        cached = net.controller.cache.lookup(flow, net.topology.sim.now)
+        assert cached is not None and cached.action == "block"
+
+    def test_lost_decision_hits_pending_deadline(self):
+        config = ControllerConfig(pending_deadline=0.5)
+        net = build_network(config=config)
+        controller = net.controller
+        # Simulate a lost decision: the completion callback never runs.
+        controller._complete_decision = lambda *args, **kwargs: None
+        client = net.host("client")
+        client.open_flow("http", "alice", "192.168.1.1", 80)
+        net.run()
+        assert controller._pending == {}
+        assert controller.pending_expired == 1
+        assert all(s.buffered_count() == 0 for s in net.switches.values())
+        records = [r for r in controller.audit.records() if r.rule_origin == "error"]
+        assert len(records) == 1 and "deadline" in records[0].note
+        assert net.host("server").delivered == []
+
+    def test_sweep_backstops_pending_flow_whose_deadline_event_was_lost(self):
+        # The one-shot deadline event normally covers every punt; the
+        # lifecycle sweep backstops flows whose event disappeared (e.g. a
+        # simulator reset dropped the queue but _pending survived).
+        net = build_network(config=ControllerConfig(pending_deadline=0.5))
+        controller = net.controller
+        controller._complete_decision = lambda *args, **kwargs: None  # decision lost
+        net.host("client").open_flow("http", "alice", "192.168.1.1", 80)
+        net.run(duration=0.1)
+        (flow,) = controller._pending
+        # Simulate the event being lost: cancel and forget it.
+        controller._pending_deadline_events.pop(flow).cancel()
+        assert controller._uncovered_pending() == [flow]
+        assert controller._next_pending_deadline() is not None
+        swept = controller.lifecycle.sweep(net.topology.sim.now + 1.0)
+        assert swept["pending"] == 1
+        assert controller._pending == {} and controller.pending_expired == 1
+
+    def test_completed_decision_cancels_the_deadline(self):
+        net = build_network()
+        net.send_flow("client", "http", "alice", "192.168.1.1", 80)
+        controller = net.controller
+        assert controller._pending_deadline_events == {}
+        assert controller.pending_expired == 0
+
+
+class TestDropEntryReevaluation:
+    def test_drop_entries_carry_hard_timeout(self):
+        from repro.openflow.actions import DropAction
+
+        net = build_network()
+        net.send_flow("client", "telnet", "alice", "192.168.1.1", 23)
+        drops = [
+            entry
+            for switch in net.switches.values()
+            for entry in switch.flow_table.find(
+                lambda e: all(isinstance(a, DropAction) for a in e.actions)
+            )
+        ]
+        assert drops
+        assert all(e.hard_timeout == net.controller.config.decision_ttl for e in drops)
+
+    def test_chatty_blocked_flow_reevaluated_after_ttl(self):
+        # idle_timeout alone would let a chatty blocked flow refresh its
+        # drop entry forever; the hard cap forces a fresh decision.
+        config = ControllerConfig(decision_ttl=0.2, idle_timeout=10.0)
+        net = build_network(config=config)
+        client = net.host("client")
+        _, socket, _ = client.open_flow("telnet", "alice", "192.168.1.1", 23)
+        net.run()
+        fresh_decisions = len([r for r in net.controller.audit.records() if not r.cached])
+        assert fresh_decisions == 1
+        net.run(duration=0.5)  # let both the drop entry and the cache TTL lapse
+        client.send_on_socket(socket)
+        net.run()
+        fresh_decisions = len([r for r in net.controller.audit.records() if not r.cached])
+        assert fresh_decisions == 2  # the flow was re-evaluated, not silently dropped
+
+
+class TestLifecycleSweepsNetwork:
+    def test_sweeps_reclaim_all_flow_state_under_churn(self):
+        config = ControllerConfig(
+            decision_ttl=0.2, idle_timeout=0.2, lifecycle_interval=0.1,
+            pending_deadline=1.0,
+        )
+        net = build_network(config=config)
+        controller = net.controller
+        controller.cache.state_table.timeout = 0.2
+        client = net.host("client")
+        for port in (80, 81, 82, 83):
+            client.open_flow("http", "alice", "192.168.1.1", port)
+        # Settle just long enough for the decisions to land, well before
+        # the TTLs: the caches must be populated at this point.
+        net.run(duration=0.05)
+        assert len(controller.cache) > 0
+        # Drain: the lifecycle keeps sweeping while state remains, then
+        # deschedules itself so the run can end.
+        net.run()
+        assert len(controller.cache) == 0
+        assert len(controller.cache.state_table) == 0
+        assert all(len(s.flow_table) == 0 for s in net.switches.values())
+        stats = controller.lifecycle.stats()
+        assert stats["sweeps"] > 0
+        assert stats["reclaimed_total"] > 0
+        assert stats["reclaimable_entries"] == 0
+        assert not controller.lifecycle.scheduled
+
+    def test_summary_reports_lifecycle_sections(self):
+        net = build_network()
+        net.send_flow("client", "http", "alice", "192.168.1.1", 80)
+        summary = net.controller.summary()
+        assert "lifecycle" in summary and "state_table" in summary
+        assert summary["pending_flows"] == 0
+        assert summary["policy_errors"] == 0
+        assert summary["cache"]["expirations"] == 0.0
+
+
+class TestInterceptorLatencyCache:
+    def test_mean_is_cached_and_invalidated_by_link_count(self):
+        net = build_network()
+        qc = net.controller.query_client
+        switch = net.switches["sw-left"]
+        first = qc._interceptor_latency(switch)
+        links = net.topology.links()
+        expected = 2.0 * (sum(l.latency for l in links) / len(links))
+        assert first == pytest.approx(expected)
+        assert qc._mean_link_latency == (len(links), pytest.approx(expected / 2.0))
+        # Growing the topology invalidates the cached mean.
+        extra = net.add_switch("sw-extra")
+        net.connect(extra, "sw-right", latency=10.0)
+        second = qc._interceptor_latency(switch)
+        links = net.topology.links()
+        assert second == pytest.approx(2.0 * sum(l.latency for l in links) / len(links))
+        assert second != first

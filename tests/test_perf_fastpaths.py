@@ -207,7 +207,12 @@ class TestGeneratorBatches:
 
 class TestControllerFlushIsolation:
     def test_bad_flow_does_not_poison_the_batch(self):
-        """A PFEvalError for one queued flow must not lose the others."""
+        """A PFEvalError for one queued flow must not lose the others.
+
+        The erroring flow itself fails *closed*: it is resolved through
+        ``_fail_closed`` (audited drop) instead of re-raising, so its
+        pending packets can never leak.
+        """
         from repro.core.policy_engine import PolicyEngine
 
         engine = PolicyEngine(default_action="block")
@@ -227,9 +232,13 @@ class TestControllerFlushIsolation:
                 self._decision_queue = []
                 self._flush_scheduled = False
                 self.finished = []
+                self.failed_closed = []
 
             def _finish_decision(self, entry, decision):
                 self.finished.append((entry[0], decision.action))
+
+            def _fail_closed(self, entry, error):
+                self.failed_closed.append((entry[0], error))
 
             _flush_decisions = _real._flush_decisions
 
@@ -242,15 +251,15 @@ class TestControllerFlushIsolation:
             (bad, None, None, [], 0.0),
             (good_b, None, None, [], 0.0),
         ]
-        import pytest
-
         from repro.exceptions import PFEvalError
 
-        with pytest.raises(PFEvalError):
-            controller._flush_decisions()
+        controller._flush_decisions()
         # Both healthy flows still completed despite the poisoned batch.
         assert [(flow, action) for flow, action in controller.finished] == [
             (good_a, "pass"),
             (good_b, "pass"),
         ]
+        # The poisoned flow was resolved fail-closed, not re-raised.
+        assert [flow for flow, _ in controller.failed_closed] == [bad]
+        assert isinstance(controller.failed_closed[0][1], PFEvalError)
         assert controller._decision_queue == []
