@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-experiments soak
+.PHONY: test bench bench-experiments soak soak_cluster
 
 test:
 	$(PYTHON) -m pytest -q
@@ -11,6 +11,9 @@ bench:
 
 soak:
 	$(PYTHON) -m repro.workloads.churn
+
+soak_cluster:
+	$(PYTHON) -m repro.workloads.cluster
 
 bench-experiments:
 	$(PYTHON) -m pytest benchmarks/bench_*.py --benchmark-only -s

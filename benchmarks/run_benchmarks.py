@@ -34,6 +34,11 @@ from repro.openflow.match import Match  # noqa: E402
 from repro.pf.evaluator import PolicyEvaluator  # noqa: E402
 from repro.pf.parser import parse_ruleset  # noqa: E402
 from repro.workloads.churn import ChurnConfig, ChurnSoak, error_probe  # noqa: E402
+from repro.workloads.cluster import (  # noqa: E402
+    CLUSTER_SPEEDUP_FLOOR,
+    ClusterFailoverChurn,
+    ClusterScaleBench,
+)
 from repro.workloads.generators import FlowGenerator, FlowTemplate  # noqa: E402
 from repro.workloads.paper_configs import figure2_control_files  # noqa: E402
 
@@ -190,6 +195,17 @@ def bench_churn_soak(results: dict) -> None:
     results["soak_fail_closed_probe"] = error_probe()
 
 
+def bench_cluster(results: dict) -> None:
+    """Cluster: 4-shard decision throughput vs 1 shard + failover zero-loss soak."""
+    scale = ClusterScaleBench().run()
+    entry = scale.as_dict()
+    # Headline ops/s: aggregate decided-flows per simulated second at 4 shards.
+    shard_counts = sorted(scale.throughput_by_shards)
+    entry["ops_per_sec"] = round(scale.throughput_by_shards[shard_counts[-1]], 1)
+    results["cluster_scale_1_to_4"] = entry
+    results["cluster_failover_churn"] = ClusterFailoverChurn().run().as_dict()
+
+
 def main() -> int:
     results: dict = {}
     print("running hot-path benchmarks ...")
@@ -200,6 +216,8 @@ def main() -> int:
     bench_flow_generator(results)
     print("running churn soak ...")
     bench_churn_soak(results)
+    print("running cluster scale + failover benches ...")
+    bench_cluster(results)
 
     derived = {
         "compiled_speedup_2000_rules": round(
@@ -214,6 +232,8 @@ def main() -> int:
         ),
         "soak_state_bounded": results["soak_churn_100k"]["bounded_within_2x"],
         "soak_fail_closed": results["soak_fail_closed_probe"]["failed_closed"],
+        "cluster_speedup_4_shards": results["cluster_scale_1_to_4"]["speedup"],
+        "cluster_failover_zero_loss": results["cluster_failover_churn"]["zero_loss"],
     }
     payload = {
         "command": "python benchmarks/run_benchmarks.py",
@@ -241,6 +261,15 @@ def main() -> int:
         return 1
     if not derived["soak_fail_closed"]:
         print("FAIL: PFError flow was not failed closed in the soak probe")
+        return 1
+    if derived["cluster_speedup_4_shards"] < CLUSTER_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: 4-shard cluster speedup below the "
+            f"{CLUSTER_SPEEDUP_FLOOR:g}x acceptance floor"
+        )
+        return 1
+    if not derived["cluster_failover_zero_loss"]:
+        print("FAIL: cluster failover lost flows (see cluster_failover_churn.violations)")
         return 1
     return 0
 

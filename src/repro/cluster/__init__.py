@@ -1,0 +1,26 @@
+"""Sharded controller cluster: the scale-out control plane.
+
+* :mod:`repro.cluster.shard_map` — consistent-hash ring assigning each
+  flow 5-tuple (direction-independently) to a controller shard.
+* :mod:`repro.cluster.cluster` — :class:`ControllerCluster`, fronting N
+  ident++ controller replicas; switches hold one channel per replica
+  and punt each flow to its owning shard.
+* :mod:`repro.cluster.failover` — heartbeat-driven failure detection,
+  ring re-homing and re-punting of a dead shard's in-flight flows.
+* :mod:`repro.cluster.coordinator` — cluster-wide propagation of policy
+  reloads and delegation grants/revocations, with origin-shard audit.
+"""
+
+from repro.cluster.cluster import ControllerCluster
+from repro.cluster.coordinator import ClusterChangeRecord, ClusterCoordinator
+from repro.cluster.failover import FailoverMonitor
+from repro.cluster.shard_map import ShardMap, flow_key
+
+__all__ = [
+    "ControllerCluster",
+    "ClusterChangeRecord",
+    "ClusterCoordinator",
+    "FailoverMonitor",
+    "ShardMap",
+    "flow_key",
+]

@@ -1,0 +1,273 @@
+"""A sharded cluster of ident++ controllers behind one consistent-hash map.
+
+The paper's single controller is the scalability chokepoint: every new
+flow punts to one decision loop.  :class:`ControllerCluster` fronts N
+:class:`~repro.core.controller.IdentPPController` replicas with a
+:class:`~repro.cluster.shard_map.ShardMap`:
+
+* every switch gets one control channel **per replica** plus a shard
+  router, so each flow punts directly to its owning shard — no central
+  dispatcher on the punt path;
+* a :class:`~repro.cluster.failover.FailoverMonitor` detects a dead
+  replica by missed heartbeats, re-homes its ring arc and re-punts its
+  orphaned in-flight flows to the successors (fail-closed throughout:
+  adopted flows get the successor's pending deadline);
+* a :class:`~repro.cluster.coordinator.ClusterCoordinator` applies
+  policy reloads and delegation grants/revocations to every replica in
+  one call, so a ``revoke_delegation`` issued on any shard takes effect
+  cluster-wide, with the originating shard audited.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.cluster.coordinator import ClusterCoordinator
+from repro.cluster.failover import (
+    DEFAULT_HEARTBEAT_INTERVAL,
+    DEFAULT_MISS_THRESHOLD,
+    FailoverMonitor,
+)
+from repro.cluster.shard_map import DEFAULT_VNODES, ShardMap, flow_key
+from repro.core.controller import ControllerConfig, IdentPPController
+from repro.core.policy_engine import PolicyEngine
+from repro.exceptions import TopologyError
+from repro.identpp.flowspec import FlowSpec
+from repro.netsim.packet import Packet
+from repro.netsim.topology import Topology
+from repro.openflow.channel import DEFAULT_CONTROL_LATENCY
+from repro.openflow.messages import PacketIn
+from repro.openflow.switch import OpenFlowSwitch
+
+
+class ControllerCluster:
+    """N ident++ controller shards, one consistent-hash control plane."""
+
+    def __init__(
+        self,
+        name: str,
+        topology: Topology,
+        *,
+        shards: int = 2,
+        config: Optional[ControllerConfig] = None,
+        policy_default_action: str = "pass",
+        vnodes: int = DEFAULT_VNODES,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        miss_threshold: int = DEFAULT_MISS_THRESHOLD,
+    ) -> None:
+        if shards < 1:
+            raise TopologyError(f"a cluster needs at least one shard (got {shards})")
+        self.name = name
+        self.topology = topology
+        self.config = config if config is not None else ControllerConfig()
+        self.replicas: dict[str, IdentPPController] = {}
+        for index in range(shards):
+            shard_name = f"{name}.shard{index}"
+            engine = PolicyEngine(
+                default_action=policy_default_action, name=f"{shard_name}.policy"
+            )
+            self.replicas[shard_name] = IdentPPController(
+                shard_name, topology, engine, config=self.config
+            )
+        self.shard_map = ShardMap(self.replicas, vnodes=vnodes)
+        self.coordinator = ClusterCoordinator(self)
+        self.monitor = FailoverMonitor(
+            self,
+            heartbeat_interval=heartbeat_interval,
+            miss_threshold=miss_threshold,
+        )
+        self.failovers = 0
+        self.repunted_flows = 0
+        self.repunted_messages = 0
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    @property
+    def sim(self):
+        """Return the topology's simulator clock."""
+        return self.topology.sim
+
+    @property
+    def now(self) -> float:
+        """Return the current simulated time."""
+        return self.sim.now if self.sim is not None else 0.0
+
+    def register_switch(
+        self, switch: OpenFlowSwitch, *, latency: float = DEFAULT_CONTROL_LATENCY
+    ) -> None:
+        """Give ``switch`` one channel per replica and the shard router."""
+        for controller in self.replicas.values():
+            controller.register_switch(switch, latency=latency)
+        switch.set_shard_router(self.route)
+
+    def route(self, packet: Packet) -> Iterable[str]:
+        """Return the preference-ordered shard names for a punted packet.
+
+        Lazy: the common case (owner channel up) only walks the ring to
+        the first live shard; successors are resolved only if the
+        switch keeps iterating past a downed channel.
+        """
+        return self.shard_map.iter_preference_of_key(self._routing_key(packet))
+
+    def _routing_key(self, packet: Packet) -> str:
+        """Return the ring key for a packet.
+
+        Non-IP traffic has no 5-tuple; it hashes under one stable key so
+        a single shard consistently handles it.  Punt routing and
+        failover re-homing both go through here, so they cannot
+        disagree on ownership.
+        """
+        if packet.is_ip():
+            return flow_key(FlowSpec.from_packet(packet))
+        return f"{self.name}:non-ip"
+
+    def controller_for(self, flow: FlowSpec) -> IdentPPController:
+        """Return the live replica that owns ``flow``."""
+        return self.replicas[self.shard_map.owner(flow)]
+
+    def replica(self, name: str) -> IdentPPController:
+        """Return a replica by shard name."""
+        try:
+            return self.replicas[name]
+        except KeyError as exc:
+            raise TopologyError(f"unknown shard: {name}") from exc
+
+    def switches(self) -> list[OpenFlowSwitch]:
+        """Return the switches registered with the cluster."""
+        for controller in self.replicas.values():
+            return controller.switches()
+        return []
+
+    # ------------------------------------------------------------------
+    # Failure injection + failover
+    # ------------------------------------------------------------------
+
+    def kill(self, shard: str) -> None:
+        """Crash a replica: it stops processing and its channels drop.
+
+        Future punts re-home immediately (the shard router skips
+        disconnected channels); flows already inside the dead replica
+        wait for the :class:`FailoverMonitor` to export them.
+        """
+        controller = self.replica(shard)
+        controller.halt()
+        for channel in controller.channels.values():
+            channel.disconnect()
+
+    def restore(self, shard: str) -> None:
+        """Bring a crashed replica back into the ring.
+
+        Channels reconnect before the replica resumes so the punts it
+        replays from its halted inbox (and any deadline it fails closed)
+        can reach the switches again.
+        """
+        controller = self.replica(shard)
+        for channel in controller.channels.values():
+            channel.reconnect()
+        self.shard_map.revive(shard)
+        # Resync before resume: the punts resume() replays from the
+        # halted inbox must be decided under the policy/delegation state
+        # the corpse missed, not the stale pre-crash one.
+        self.coordinator.resync(shard)
+        controller.resume()
+        self.monitor.note_revived(shard)
+
+    def fail_over(self, shard: str) -> int:
+        """Re-home a dead shard's ring arc and re-punt its orphaned flows.
+
+        Exports the dead replica's pending table and halted message
+        backlog, then delivers every orphaned PacketIn to the shard that
+        now owns its flow.  Returns how many flows were re-punted.
+
+        A shard that is somehow still running is killed first: exporting
+        a *live* replica's pending table would let its in-flight
+        decision events complete against successors' adoptions —
+        duplicate decisions, duplicate flow entries.
+        """
+        dead = self.replica(shard)
+        if not dead.halted:
+            self.kill(shard)
+        if self.shard_map.is_live(shard):
+            self.shard_map.mark_dead(shard)
+        self.failovers += 1
+        repunted_keys: set[str] = set()
+        for flow, messages in dead.export_pending():
+            successor = self.controller_for(flow)
+            for message in messages:
+                successor.adopt_punt(message)
+                self.repunted_messages += 1
+            if messages:
+                repunted_keys.add(flow_key(flow))
+        for message in dead.take_halted_messages():
+            # The dead process's socket backlog: only punts still matter.
+            if isinstance(message, PacketIn):
+                key = self._routing_key(message.packet)
+                self.replicas[self.shard_map.owner_of_key(key)].adopt_punt(message)
+                self.repunted_messages += 1
+                repunted_keys.add(key)
+        self.repunted_flows += len(repunted_keys)
+        return len(repunted_keys)
+
+    # ------------------------------------------------------------------
+    # Cluster-wide configuration (delegated to the coordinator)
+    # ------------------------------------------------------------------
+
+    def set_policy(self, files: dict[str, str], *, provenance: str = "administrator"):
+        """Load ``.control`` files on every shard (one cluster epoch)."""
+        return self.coordinator.set_policy(files, provenance=provenance)
+
+    def grant_delegation(self, principal: str, key, *, scope: str = ""):
+        """Grant a principal on every shard."""
+        return self.coordinator.grant_delegation(principal, key, scope=scope)
+
+    def revoke_delegation(self, principal: str, *, origin_shard: Optional[str] = None):
+        """Revoke a grant cluster-wide (see :class:`ClusterCoordinator`)."""
+        return self.coordinator.revoke_delegation(principal, origin_shard=origin_shard)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def pending_total(self) -> int:
+        """Return how many flows are pending across all replicas."""
+        return sum(len(c.pending_flows()) for c in self.replicas.values())
+
+    def decided_total(self) -> int:
+        """Return non-cached decisions made across all replicas."""
+        return sum(
+            sum(1 for record in c.audit.records() if not record.cached)
+            for c in self.replicas.values()
+        )
+
+    def audit_records(self):
+        """Return every replica's audit records, ordered by time."""
+        records = []
+        for controller in self.replicas.values():
+            records.extend(controller.audit.records())
+        records.sort(key=lambda record: record.time)
+        return records
+
+    def summary(self) -> dict[str, object]:
+        """Return the cluster's headline numbers plus per-shard summaries."""
+        per_shard = {name: c.summary() for name, c in self.replicas.items()}
+        return {
+            "shards": len(self.replicas),
+            "live_shards": self.shard_map.live_shards(),
+            "decisions_total": self.decided_total(),
+            "pending_total": self.pending_total(),
+            "failovers": self.failovers,
+            "repunted_flows": self.repunted_flows,
+            "repunted_messages": self.repunted_messages,
+            "shard_map": self.shard_map.stats(),
+            "monitor": self.monitor.stats(),
+            "coordinator": self.coordinator.stats(),
+            "per_shard": per_shard,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"ControllerCluster({self.name!r}, shards={len(self.replicas)}, "
+            f"live={len(self.shard_map.live_shards())})"
+        )

@@ -72,6 +72,12 @@ class ControllerConfig:
     * ``cache_capacity`` — optional LRU bound on the decision cache.
     * ``state_timeout`` — idle lifetime of ``keep state`` entries (the
       paper's PF default of 300 s).
+    * ``serialize_decisions`` — model the controller as a single serial
+      decision loop: each evaluation occupies it for
+      ``policy_eval_delay``, so concurrent punts queue behind each other
+      instead of overlapping.  This is what makes one controller a
+      measurable scalability chokepoint (and sharding a measurable win);
+      off by default so existing scenario timelines are unchanged.
     """
 
     query_keys: tuple[str, ...] = tuple(DEFAULT_QUERY_KEYS)
@@ -87,6 +93,7 @@ class ControllerConfig:
     lifecycle_interval: float = 0.0
     cache_capacity: Optional[int] = None
     state_timeout: float = 300.0
+    serialize_decisions: bool = False
 
 
 class IdentPPController(Controller):
@@ -124,8 +131,12 @@ class IdentPPController(Controller):
         # one PolicyEngine.decide_batch() call.
         self._decision_queue: list[tuple] = []
         self._flush_scheduled = False
+        # When the serialized decision loop next frees up (only advanced
+        # with config.serialize_decisions).
+        self._busy_until = 0.0
         self.policy_errors = 0
         self.pending_expired = 0
+        self.repunts_adopted = 0
         self.lifecycle = LifecycleService(
             name=f"{name}.lifecycle", interval=self.config.lifecycle_interval
         )
@@ -267,6 +278,13 @@ class IdentPPController(Controller):
         query_cost = QueryClient.combined_latency(outcomes)
         self.query_latency.observe(query_cost)
         total_delay = query_cost + self.config.policy_eval_delay
+        if self.config.serialize_decisions:
+            # The decision loop is a serial resource: the evaluation
+            # starts once the query responses are in *and* the loop is
+            # free, so bursts of punts queue instead of overlapping.
+            start = max(self.now + query_cost, self._busy_until)
+            self._busy_until = start + self.config.policy_eval_delay
+            total_delay = self._busy_until - self.now
         if self.sim is not None:
             self.sim.schedule(
                 total_delay,
@@ -304,6 +322,18 @@ class IdentPPController(Controller):
         evaluated together through :meth:`PolicyEngine.decide_batch`, so
         the per-decision context setup is paid once per burst of punts.
         """
+        if self.halted:
+            # The crash froze this decision mid-flight; the flow stays in
+            # ``_pending`` for the failover monitor to export.
+            return
+        if self._pending_since.get(flow) != arrival:
+            # The punt this decision answers was already resolved
+            # without us: its deadline failed it closed, or a failover
+            # handed it to a successor.  Matching on the punt arrival —
+            # not mere pending presence — also discards us when the flow
+            # was re-punted meanwhile: this decision's query outcomes are
+            # stale, and the re-punt runs its own fresh pipeline.
+            return
         src_doc = outcomes[0].document if outcomes else None
         dst_doc = outcomes[1].document if len(outcomes) > 1 else None
         self._decision_queue.append((flow, src_doc, dst_doc, outcomes, arrival))
@@ -317,7 +347,18 @@ class IdentPPController(Controller):
     def _flush_decisions(self) -> None:
         """Evaluate every queued ready flow in one batch and program the datapath."""
         self._flush_scheduled = False
+        if self.halted:
+            return
         queue, self._decision_queue = self._decision_queue, []
+        # A same-instant deadline (or a failover export) may have
+        # resolved a queued flow between ready and flush — deciding it
+        # again would double-program the datapath — and a resolved-then-
+        # re-punted flow must be decided by its own fresh pipeline, not
+        # this stale one (the punt arrival identifies the generation).
+        queue = [
+            entry for entry in queue
+            if self._pending_since.get(entry[0]) == entry[4]
+        ]
         if not queue:
             return
         try:
@@ -418,6 +459,11 @@ class IdentPPController(Controller):
 
     def _pending_deadline_fired(self, flow: FlowSpec) -> None:
         """One-shot deadline: the decision for ``flow`` never arrived."""
+        if self.halted:
+            # A dead controller cannot fail a flow closed; the pending
+            # entry must survive for the failover handoff, where the
+            # successor arms its own deadline.
+            return
         if flow in self._pending:
             self._expire_pending_flow(flow)
 
@@ -440,6 +486,8 @@ class IdentPPController(Controller):
 
     def _expire_stale_pending(self, now: float) -> int:
         """Lifecycle sweep: fail-close uncovered pending flows past their deadline."""
+        if self.halted:
+            return 0
         deadline = self.config.pending_deadline
         stale = [
             flow for flow in self._uncovered_pending()
@@ -452,8 +500,9 @@ class IdentPPController(Controller):
     def _expire_pending_flow(self, flow: FlowSpec) -> None:
         """Drop a stranded flow's buffered packets and audit the failure.
 
-        No decision is cached: if the real decision still arrives later it
-        applies normally, and the next punt re-runs the pipeline.
+        No decision is cached, and a decision event that still fires for
+        the flow later is discarded (it must not override the fail-closed
+        resolution): the next punt re-runs the pipeline from scratch.
         """
         self.pending_expired += 1
         self._resolve_fail_closed(
@@ -625,6 +674,90 @@ class IdentPPController(Controller):
         return self.policy.decide_batch(items)
 
     # ------------------------------------------------------------------
+    # Cluster hooks (pending handoff + policy/delegation epochs)
+    # ------------------------------------------------------------------
+
+    def export_pending(self) -> list[tuple[FlowSpec, list[PacketIn]]]:
+        """Hand over every in-flight punted flow (failover handoff).
+
+        Pops the whole pending table — buffered PacketIns, arrival times
+        and armed fail-closed deadlines — and returns ``(flow, punts)``
+        pairs in arrival order so a successor can adopt them.  Queued
+        but unevaluated decisions are discarded with their pending
+        entries: the successor re-runs the pipeline from the punt.
+        """
+        flows = sorted(self._pending_since, key=self._pending_since.__getitem__)
+        flows += [flow for flow in self._pending if flow not in self._pending_since]
+        exported = [(flow, self._pop_pending(flow)) for flow in flows]
+        self._decision_queue.clear()
+        self._flush_scheduled = False
+        # The handed-off work no longer occupies this decision loop; a
+        # restored shard must not serialize new punts behind it.
+        self._busy_until = 0.0
+        return exported
+
+    def pending_flows(self) -> list[FlowSpec]:
+        """Return the flows currently awaiting a decision."""
+        return list(self._pending)
+
+    def resume(self) -> None:
+        """Revive a halted controller without stranding its frozen flows.
+
+        Two kinds of work died with the process and must be replayed,
+        or the flows they carried would stay open-ended forever:
+
+        * the halted inbox — punts that reached the dead process's
+          socket but were never handled;
+        * fail-closed deadlines that fired (and were swallowed) or were
+          consumed while halted — every still-pending flow gets a fresh
+          deadline, as if it had just been punted.
+        """
+        super().resume()
+        # Whatever occupied the decision loop died with the process;
+        # revived punts must not queue behind phantom work.
+        self._busy_until = 0.0
+        if self.sim is not None and self.config.pending_deadline > 0:
+            for flow in self._pending:
+                stale = self._pending_deadline_events.pop(flow, None)
+                if stale is not None:
+                    stale.cancel()
+                self._pending_deadline_events[flow] = self.sim.schedule(
+                    self.config.pending_deadline,
+                    self._pending_deadline_fired,
+                    flow,
+                    label=f"{self.name}:pending-deadline",
+                )
+        for message in self.take_halted_messages():
+            self.handle_message(message)
+        self.lifecycle.kick()
+
+    def adopt_punt(self, message: PacketIn) -> None:
+        """Adopt a punt re-homed from a failed replica.
+
+        Delivered over this controller's own channel to the punting
+        switch when it is up (so the handoff pays a control round-trip
+        like any punt), or handled directly as a control-plane RPC when
+        the channel is down.  Either way the flow enters the normal
+        pipeline — including the fail-closed pending deadline.
+        """
+        self.repunts_adopted += 1
+        channel = self.channels.get(message.switch.name)
+        if channel is not None and channel.connected:
+            channel.send_to_controller(message)
+        else:
+            self.handle_message(message)
+
+    @property
+    def policy_epoch(self) -> int:
+        """Return the policy engine's ruleset epoch (bumped per rebuild)."""
+        return self.policy.ruleset_epoch
+
+    @property
+    def delegation_epoch(self) -> int:
+        """Return the delegation manager's grant/revoke epoch."""
+        return self.delegations.epoch
+
+    # ------------------------------------------------------------------
     # Revocation (the administrator "overrides, audits, and revokes")
     # ------------------------------------------------------------------
 
@@ -673,5 +806,7 @@ class IdentPPController(Controller):
             "pending_flows": len(self._pending),
             "pending_expired": self.pending_expired,
             "policy_errors": self.policy_errors,
+            "repunts_adopted": self.repunts_adopted,
+            "halted": self.halted,
             "policy": self.policy.stats(),
         }

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
+from repro.cluster.cluster import ControllerCluster
 from repro.core.controller import ControllerConfig, IdentPPController
 from repro.core.policy_engine import PolicyEngine
 from repro.exceptions import TopologyError
@@ -86,6 +87,7 @@ class IdentPPNetwork:
         link_bandwidth: Optional[float] = DEFAULT_BANDWIDTH,
         controller_config: Optional[ControllerConfig] = None,
         policy_default_action: str = "pass",
+        create_default_controller: bool = True,
     ) -> None:
         self.name = name
         self.link_latency = link_latency
@@ -95,11 +97,16 @@ class IdentPPNetwork:
         self.hosts: dict[str, EndHost] = {}
         self.switches: dict[str, OpenFlowSwitch] = {}
         self.daemons: dict[str, IdentPPDaemon] = {}
-        self.controller = self.add_controller(
-            f"{name}.controller",
-            config=controller_config,
-            policy_default_action=policy_default_action,
-        )
+        self.cluster: Optional[ControllerCluster] = None
+        self.controller: Optional[IdentPPController] = None
+        # Networks fronted by a cluster (or an explicit controller list)
+        # pass False so summaries don't carry a dead unsharded controller.
+        if create_default_controller:
+            self.controller = self.add_controller(
+                f"{name}.controller",
+                config=controller_config,
+                policy_default_action=policy_default_action,
+            )
 
     # ------------------------------------------------------------------
     # Building blocks
@@ -118,6 +125,51 @@ class IdentPPNetwork:
         self.controllers[name] = controller
         return controller
 
+    def add_cluster(
+        self,
+        name: Optional[str] = None,
+        *,
+        shards: int = 2,
+        config: Optional[ControllerConfig] = None,
+        policy_default_action: str = "pass",
+        **cluster_kwargs,
+    ) -> ControllerCluster:
+        """Front the network with a sharded controller cluster.
+
+        Must run before any switch is added: switches are registered
+        with their controllers at creation time.  Subsequent
+        :meth:`add_switch` calls (without an explicit ``controller``)
+        register with every shard, and :meth:`set_policy` propagates
+        through the cluster coordinator.
+        """
+        if self.cluster is not None:
+            raise TopologyError(f"network {self.name} already has a cluster")
+        if self.controller is not None:
+            # Mixing a cluster with the eagerly-created default controller
+            # would leave a dead unsharded controller in summaries and a
+            # net.controller that silently handles nothing.
+            raise TopologyError(
+                f"network {self.name} already has a default controller; "
+                "build with create_default_controller=False (or use "
+                "IdentPPClusterNetwork)"
+            )
+        if self.switches:
+            raise TopologyError(
+                "add_cluster must be called before switches are added "
+                f"(network {self.name} already has {len(self.switches)})"
+            )
+        cluster = ControllerCluster(
+            name if name is not None else f"{self.name}.cluster",
+            self.topology,
+            shards=shards,
+            config=config,
+            policy_default_action=policy_default_action,
+            **cluster_kwargs,
+        )
+        self.cluster = cluster
+        self.controllers.update(cluster.replicas)
+        return cluster
+
     def add_switch(
         self,
         name: str,
@@ -128,8 +180,12 @@ class IdentPPNetwork:
         """Create a switch, add it to the topology and register it with a controller."""
         switch = OpenFlowSwitch(name, table_capacity=table_capacity, trace=self.topology.trace)
         self.topology.add_node(switch)
-        owner = controller if controller is not None else self.controller
-        owner.register_switch(switch)
+        if controller is not None:
+            controller.register_switch(switch)
+        elif self.cluster is not None:
+            self.cluster.register_switch(switch)
+        else:
+            self._default_controller().register_switch(switch)
         self.switches[name] = switch
         return switch
 
@@ -195,9 +251,25 @@ class IdentPPNetwork:
         controller: Optional[IdentPPController] = None,
         provenance: str = "administrator",
     ) -> None:
-        """Register ``.control`` files on a controller (default: the primary one)."""
-        owner = controller if controller is not None else self.controller
-        owner.policy.add_control_files(files, provenance=provenance)
+        """Register ``.control`` files on a controller (default: the primary
+        one, or every cluster shard via the coordinator)."""
+        if controller is not None:
+            controller.policy.add_control_files(files, provenance=provenance)
+        elif self.cluster is not None:
+            self.cluster.set_policy(files, provenance=provenance)
+        else:
+            self._default_controller().policy.add_control_files(
+                files, provenance=provenance
+            )
+
+    def _default_controller(self) -> IdentPPController:
+        """Return the default controller, or fail with a useful message."""
+        if self.controller is None:
+            raise TopologyError(
+                f"network {self.name} has no default controller; pass one "
+                "explicitly or use the cluster"
+            )
+        return self.controller
 
     # ------------------------------------------------------------------
     # Driving traffic
@@ -276,14 +348,73 @@ class IdentPPNetwork:
 
     def summary(self) -> dict[str, object]:
         """Return a combined summary across controllers and switches."""
-        return {
+        summary: dict[str, object] = {
             "topology": self.topology.describe(),
             "controllers": {name: c.summary() for name, c in self.controllers.items()},
             "switch_flow_tables": {
                 name: switch.flow_table.stats() for name, switch in self.switches.items()
             },
         }
+        if self.cluster is not None:
+            cluster_summary = self.cluster.summary()
+            cluster_summary.pop("per_shard", None)  # already under "controllers"
+            summary["cluster"] = cluster_summary
+        return summary
 
     def hosts_with_daemons(self) -> Iterable[str]:
         """Return the names of hosts running an ident++ daemon."""
         return sorted(self.daemons)
+
+
+class IdentPPClusterNetwork(IdentPPNetwork):
+    """An ident++ network fronted by a sharded controller cluster.
+
+    Same builder API as :class:`IdentPPNetwork`, but instead of one
+    default controller the control plane is a
+    :class:`~repro.cluster.cluster.ControllerCluster` of ``shards``
+    replicas: switches punt each flow to its consistent-hash owner,
+    policy is set cluster-wide, and the failover monitor (started with
+    :meth:`start_monitoring`) re-homes flows around a killed replica::
+
+        net = IdentPPClusterNetwork("demo", shards=4)
+        sw = net.add_switch("sw1")
+        ...
+        net.set_policy({...})            # propagates to every shard
+        net.start_monitoring()
+        net.cluster.kill(net.cluster.shard_map.shards()[0])
+        net.run(1.0)                     # monitor re-punts orphans
+        net.stop_monitoring()
+    """
+
+    def __init__(
+        self,
+        name: str = "identpp-cluster-net",
+        *,
+        shards: int = 2,
+        link_latency: float = DEFAULT_LATENCY,
+        link_bandwidth: Optional[float] = DEFAULT_BANDWIDTH,
+        controller_config: Optional[ControllerConfig] = None,
+        policy_default_action: str = "pass",
+        **cluster_kwargs,
+    ) -> None:
+        super().__init__(
+            name,
+            link_latency=link_latency,
+            link_bandwidth=link_bandwidth,
+            policy_default_action=policy_default_action,
+            create_default_controller=False,
+        )
+        self.add_cluster(
+            shards=shards,
+            config=controller_config,
+            policy_default_action=policy_default_action,
+            **cluster_kwargs,
+        )
+
+    def start_monitoring(self) -> None:
+        """Arm the failover monitor (heartbeat polling begins)."""
+        self.cluster.monitor.start()
+
+    def stop_monitoring(self) -> None:
+        """Disarm the failover monitor so the event queue can drain."""
+        self.cluster.monitor.stop()

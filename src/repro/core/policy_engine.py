@@ -140,6 +140,15 @@ class PolicyEngine:
             self.rebuild()
         return self._evaluator
 
+    @property
+    def ruleset_epoch(self) -> int:
+        """Return how many times the evaluator has been (re)built.
+
+        Cluster coordinators compare this across replicas to verify a
+        policy reload propagated everywhere.
+        """
+        return self._ruleset_epoch
+
     def rule_count(self) -> int:
         """Return the number of rules in the concatenated policy."""
         return len(self.evaluator.ruleset.rules())

@@ -18,7 +18,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.exceptions import ChannelError
 from repro.netsim.events import Simulator
 from repro.netsim.statistics import Counter
-from repro.openflow.messages import ControlMessage
+from repro.openflow.messages import ControlMessage, StatsRequest
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.openflow.controller_base import Controller
@@ -44,8 +44,11 @@ class ControllerChannel:
         self.controller = controller
         self.latency = latency
         self.connected = True
-        self.to_controller_messages = Counter(f"{switch.name}->controller.messages")
-        self.to_switch_messages = Counter(f"controller->{switch.name}.messages")
+        # Counter names carry both endpoints: with several controllers
+        # per switch (cluster shards) a bare "->controller" name would
+        # collide across channels and make the stats unattributable.
+        self.to_controller_messages = Counter(f"{switch.name}->{controller.name}.messages")
+        self.to_switch_messages = Counter(f"{controller.name}->{switch.name}.messages")
 
     def _sim(self) -> Simulator:
         sim = self.switch.sim or getattr(self.controller, "sim", None)
@@ -71,6 +74,10 @@ class ControllerChannel:
         """Deliver a message from the controller to the switch after the channel latency."""
         if not self.connected:
             return
+        if isinstance(message, StatsRequest) and message.requester is None:
+            # Stamp the reply address: a multi-channel switch must answer
+            # on this channel, not whichever one it attached last.
+            message.requester = self.controller.name
         self.to_switch_messages.increment()
         self._sim().schedule(
             self.latency,

@@ -48,6 +48,10 @@ class Controller:
         self.flow_mods = Counter(f"{name}.flow_mods")
         self.packet_outs = Counter(f"{name}.packet_outs")
         self.compromised = False
+        self.halted = False
+        # Messages that arrived while halted (the dead process's socket
+        # backlog); a failover monitor drains them to a successor.
+        self._halted_inbox: list[ControlMessage] = []
 
     # ------------------------------------------------------------------
     # Wiring
@@ -96,6 +100,11 @@ class Controller:
 
     def handle_message(self, message: ControlMessage) -> None:
         """Dispatch a switch → controller message to the right handler."""
+        if self.halted:
+            # A crashed controller cannot process anything; keep the
+            # message so a failover can hand it to a live replica.
+            self._halted_inbox.append(message)
+            return
         if isinstance(message, PacketIn):
             self.packet_ins.increment()
             self.on_packet_in(message)
@@ -183,6 +192,29 @@ class Controller:
         """Install the same flow entry on every registered switch."""
         for switch in self.switches():
             self.install_flow(switch, match, actions, **kwargs)
+
+    # ------------------------------------------------------------------
+    # Failure harness hooks
+    # ------------------------------------------------------------------
+
+    def halt(self) -> None:
+        """Model a crashed controller process.
+
+        A halted controller neither processes nor emits messages; its
+        in-flight state (pending punts, scheduled decisions) freezes in
+        place until a failover exports it or :meth:`resume` revives the
+        replica.
+        """
+        self.halted = True
+
+    def resume(self) -> None:
+        """Bring a halted controller back (its frozen state thaws as-is)."""
+        self.halted = False
+
+    def take_halted_messages(self) -> list[ControlMessage]:
+        """Drain the messages that arrived while halted (failover handoff)."""
+        inbox, self._halted_inbox = self._halted_inbox, []
+        return inbox
 
     # ------------------------------------------------------------------
     # Security harness hook

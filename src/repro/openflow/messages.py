@@ -98,9 +98,15 @@ class FlowRemoved(ControlMessage):
 
 @dataclass
 class StatsRequest(ControlMessage):
-    """Controller → switch: request port counters."""
+    """Controller → switch: request port counters.
+
+    ``requester`` names the controller the reply must return to; the
+    control channel stamps it on send, so a multi-channel switch does
+    not answer one shard's request on another shard's channel.
+    """
 
     port: Optional[int] = None
+    requester: Optional[str] = None
 
 
 @dataclass

@@ -18,7 +18,7 @@ Two knobs exist for the security experiments:
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Callable, Iterable, Optional, Sequence
 
 from repro.exceptions import OpenFlowError
 from repro.netsim.nodes import Node, Port
@@ -61,6 +61,14 @@ class OpenFlowSwitch(Node):
             raise OpenFlowError(f"unknown fail mode: {fail_mode!r}")
         self.flow_table = FlowTable(name=f"{name}.flow-table", capacity=table_capacity)
         self.channel: Optional[ControllerChannel] = None
+        #: Every control channel this switch holds, by controller name.
+        #: Single-controller deployments have exactly one entry (also
+        #: exposed as :attr:`channel`); a sharded cluster registers one
+        #: channel per replica and installs a :attr:`shard_router`.
+        self.channels: dict[str, ControllerChannel] = {}
+        # Maps a punted packet to the preference-ordered controller names
+        # that should decide it (owner shard first, then successors).
+        self.shard_router: Optional[Callable[[Packet], Iterable[str]]] = None
         self.fail_mode = fail_mode
         self.trace = trace
         self.compromised = False
@@ -74,8 +82,36 @@ class OpenFlowSwitch(Node):
     # ------------------------------------------------------------------
 
     def set_channel(self, channel: ControllerChannel) -> None:
-        """Attach the control channel (done by ``Controller.register_switch``)."""
+        """Attach a control channel (done by ``Controller.register_switch``).
+
+        The most recently attached channel doubles as the default
+        :attr:`channel`; every attached channel stays reachable through
+        :attr:`channels` for shard routing.
+        """
         self.channel = channel
+        self.channels[channel.controller.name] = channel
+
+    def set_shard_router(self, router: Optional[Callable[[Packet], Iterable[str]]]) -> None:
+        """Install (or clear) the punt router used with multiple channels.
+
+        ``router(packet)`` returns controller names in preference order;
+        the switch punts to the first one whose channel is connected, so
+        a dropped channel re-homes new punts to the successor on the
+        spot.
+        """
+        self.shard_router = router
+
+    def punt_channel(self, packet: Packet) -> Optional[ControllerChannel]:
+        """Return the connected control channel that should decide ``packet``."""
+        if self.shard_router is not None and self.channels:
+            for name in self.shard_router(packet):
+                channel = self.channels.get(name)
+                if channel is not None and channel.connected:
+                    return channel
+            return None
+        if self.channel is not None and self.channel.connected:
+            return self.channel
+        return None
 
     def handle_message(self, message: ControlMessage) -> None:
         """Process a controller → switch message."""
@@ -126,8 +162,13 @@ class OpenFlowSwitch(Node):
                 "tx_bytes": float(port.tx_bytes.value),
                 "rx_bytes": float(port.rx_bytes.value),
             }
-        if self.channel is not None:
-            self.channel.send_to_controller(PortStatsReply(switch=self, stats=stats))
+        channel = None
+        if message.requester is not None:
+            channel = self.channels.get(message.requester)
+        if channel is None:
+            channel = self.channel
+        if channel is not None:
+            channel.send_to_controller(PortStatsReply(switch=self, stats=stats))
 
     def _release_buffer(self, buffer_id: int, actions: tuple[Action, ...]) -> None:
         buffered = self._buffered.pop(buffer_id, None)
@@ -178,12 +219,13 @@ class OpenFlowSwitch(Node):
         self._handle_table_miss(packet, in_port)
 
     def _handle_table_miss(self, packet: Packet, in_port: Port) -> None:
-        if self.channel is not None and self.channel.connected:
+        channel = self.punt_channel(packet)
+        if channel is not None:
             message = PacketIn(switch=self, packet=packet, in_port=in_port.number)
             self._buffered[message.buffer_id] = (packet, in_port.number)
             self.punts.increment()
-            self._record("punt", packet)
-            self.channel.send_to_controller(message)
+            self._record("punt", packet, note=channel.controller.name)
+            channel.send_to_controller(message)
             return
         if self.fail_mode == "open":
             self._record("forward", packet, note="fail-open flood")
@@ -221,20 +263,22 @@ class OpenFlowSwitch(Node):
                 self._record("forward", packet, note="flood")
                 self.flood(packet, exclude=exclude)
             elif isinstance(action, ControllerAction):
-                if self.channel is not None and self.channel.connected:
+                channel = self.punt_channel(packet)
+                if channel is not None:
                     message = PacketIn(
                         switch=self, packet=packet, in_port=in_port if in_port is not None else 0,
                         reason="action",
                     )
                     self._buffered[message.buffer_id] = (packet, in_port if in_port is not None else 0)
                     self.punts.increment()
-                    self.channel.send_to_controller(message)
+                    channel.send_to_controller(message)
             else:
                 raise OpenFlowError(f"switch {self.name} cannot apply {type(action).__name__}")
 
     def _notify_removed(self, entry: FlowEntry) -> None:
-        if self.channel is not None and self.channel.connected:
-            self.channel.send_to_controller(
+        channel = self._owner_channel(entry.cookie)
+        if channel is not None:
+            channel.send_to_controller(
                 FlowRemoved(
                     switch=self,
                     match=entry.match,
@@ -243,6 +287,26 @@ class OpenFlowSwitch(Node):
                     byte_count=entry.byte_count,
                 )
             )
+
+    def _owner_channel(self, cookie: str) -> Optional[ControllerChannel]:
+        """Return the channel of the controller that installed ``cookie``.
+
+        Decision cookies are ``<controller name>:decision-N``; with
+        multiple channels the removal notice goes back to the installer
+        when its channel is up, else to any connected channel (a
+        successor can at least observe the expiry).
+        """
+        if cookie and len(self.channels) > 1:
+            owner = self.channels.get(cookie.split(":", 1)[0])
+            if owner is not None and owner.connected:
+                return owner
+            for name in sorted(self.channels):
+                if self.channels[name].connected:
+                    return self.channels[name]
+            return None
+        if self.channel is not None and self.channel.connected:
+            return self.channel
+        return None
 
     # ------------------------------------------------------------------
     # Security harness hooks

@@ -16,9 +16,17 @@
 * :mod:`repro.workloads.churn` — the churn/soak workload that drives
   ~100k short-lived flows through the decision components and checks
   flow-state stays bounded and policy errors fail closed.
+* :mod:`repro.workloads.cluster` — the sharded control plane workloads:
+  1-vs-4-shard decision throughput and the kill-one-replica failover
+  churn soak (zero flows lost open-ended).
+
+The two soak modules (``churn``, ``cluster``) are deliberately *not*
+imported here: both run standalone via ``python -m``, and an eager
+package import would make the interpreter execute them twice (the
+``found in sys.modules after import of package`` RuntimeWarning).
+Import them by module path.
 """
 
-from repro.workloads.churn import ChurnConfig, ChurnReport, ChurnSoak, error_probe
 from repro.workloads.generators import FlowGenerator, FlowTemplate, zipf_weights
 from repro.workloads.enterprise import (
     build_branch_network,
@@ -28,10 +36,6 @@ from repro.workloads.enterprise import (
 from repro.workloads import paper_configs, scenarios
 
 __all__ = [
-    "ChurnConfig",
-    "ChurnReport",
-    "ChurnSoak",
-    "error_probe",
     "FlowGenerator",
     "FlowTemplate",
     "zipf_weights",

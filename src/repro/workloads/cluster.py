@@ -1,0 +1,452 @@
+"""Cluster workloads: decision-loop scale-out and failover churn.
+
+Two drivers for the sharded control plane, both runnable standalone
+(``make soak_cluster``) and recorded in ``BENCH_results.json``:
+
+* :class:`ClusterScaleBench` — the scalability claim.  Each controller
+  is modelled as a **serial decision loop**
+  (``ControllerConfig.serialize_decisions``): one evaluation occupies it
+  for ``policy_eval_delay``, so a burst of punts queues behind it.  The
+  bench injects the same burst of unique flows into a 1-shard and a
+  4-shard cluster and compares aggregate decided-flows per *simulated*
+  second.  With a balanced ring the 4-shard makespan approaches a
+  quarter of the 1-shard one, so the speedup doubles as a consistent-
+  hash balance gate: a skewed ring makes the slowest shard the
+  bottleneck and fails the ≥ 3x acceptance floor.
+
+* :class:`ClusterFailoverChurn` — the resilience claim.  Bursty churn
+  traffic runs against a 4-shard cluster; one replica is killed mid-
+  run with punts in flight.  The soak asserts **zero flows are lost
+  open-ended**: every flow is either decided (by its owner or, after
+  re-punt, by the successor) or failed closed by the pending-deadline
+  backstop; every pending table and switch buffer drains to empty; and
+  a delegation revocation issued after the failover is observed on
+  every shard (the coordinator's cluster-wide propagation).
+
+Run standalone::
+
+    python -m repro.workloads.cluster
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.controller import ControllerConfig
+from repro.core.network import HostSpec, IdentPPClusterNetwork
+from repro.identpp.flowspec import FlowSpec
+
+#: The cluster workloads' policy: allow web traffic statefully.
+CLUSTER_POLICY = (
+    "block all\n"
+    "pass from any to any port 80 keep state\n"
+)
+
+#: Acceptance floor for the 4-shard aggregate throughput speedup — the
+#: single source both ``make soak_cluster`` and ``make bench`` gate on.
+CLUSTER_SPEEDUP_FLOOR = 3.0
+
+
+def _build_cluster_net(
+    name: str,
+    *,
+    shards: int,
+    clients: int,
+    config: ControllerConfig,
+    vnodes: int = 128,
+    heartbeat_interval: float = 0.05,
+    miss_threshold: int = 2,
+) -> IdentPPClusterNetwork:
+    """Stand up the canonical bench fabric: clients — sw-edge — sw-core — server."""
+    net = IdentPPClusterNetwork(
+        name,
+        shards=shards,
+        policy_default_action="block",
+        controller_config=config,
+        vnodes=vnodes,
+        heartbeat_interval=heartbeat_interval,
+        miss_threshold=miss_threshold,
+    )
+    edge = net.add_switch("sw-edge")
+    core = net.add_switch("sw-core")
+    net.connect(edge, core)
+    for index in range(clients):
+        net.add_host(
+            HostSpec(
+                name=f"client{index}",
+                ip=f"192.168.0.{10 + index}",
+                users={"alice": ("users", "staff")},
+            ),
+            switch=edge,
+        )
+    server = net.add_host(HostSpec(name="server", ip="192.168.1.1"), switch=core)
+    server.run_server("httpd", "root", 80)
+    net.set_policy({"00-cluster.control": CLUSTER_POLICY})
+    return net
+
+
+# ----------------------------------------------------------------------
+# Scale bench
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ClusterScaleConfig:
+    """Tunables of the 1-vs-4 shard scale bench."""
+
+    flows: int = 1_000
+    clients: int = 8
+    shard_counts: tuple[int, ...] = (1, 4)
+    #: Serial decision-loop occupancy per evaluation.  Dominates the
+    #: (parallel) ident++ query latency so the makespan measures the
+    #: decision loop, the resource sharding multiplies.
+    policy_eval_delay: float = 500e-6
+    vnodes: int = 128
+
+    def controller_config(self) -> ControllerConfig:
+        """Return the per-replica config (serialized decision loop)."""
+        return ControllerConfig(
+            serialize_decisions=True,
+            policy_eval_delay=self.policy_eval_delay,
+            # The 1-shard run queues flows * eval_delay seconds of work;
+            # the deadline must not fire while flows wait their turn.
+            pending_deadline=60.0,
+        )
+
+
+@dataclass
+class ClusterScaleReport:
+    """Aggregate decided-flows/s per shard count, and the speedup."""
+
+    flows: int
+    throughput_by_shards: dict[int, float]
+    makespan_by_shards: dict[int, float]
+    decided_by_shards: dict[int, int]
+    shard_loads: dict[int, dict[str, int]]
+    wall_seconds: float
+
+    @property
+    def speedup(self) -> float:
+        """Return max-shard throughput over 1-shard throughput."""
+        counts = sorted(self.throughput_by_shards)
+        base = self.throughput_by_shards[counts[0]]
+        top = self.throughput_by_shards[counts[-1]]
+        return top / base if base else 0.0
+
+    def as_dict(self) -> dict[str, object]:
+        """Return a JSON-serialisable summary for the benchmark suite."""
+        return {
+            "flows": self.flows,
+            "decided_flows_per_vsec": {
+                str(count): round(value, 1)
+                for count, value in sorted(self.throughput_by_shards.items())
+            },
+            "makespan_vsec": {
+                str(count): round(value, 6)
+                for count, value in sorted(self.makespan_by_shards.items())
+            },
+            "decided": {
+                str(count): value
+                for count, value in sorted(self.decided_by_shards.items())
+            },
+            "largest_shard_share": {
+                str(count): round(max(loads.values()) / max(1, sum(loads.values())), 3)
+                for count, loads in sorted(self.shard_loads.items())
+            },
+            "speedup": round(self.speedup, 2),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+class ClusterScaleBench:
+    """Compare aggregate decision throughput across shard counts."""
+
+    def __init__(self, config: Optional[ClusterScaleConfig] = None) -> None:
+        self.config = config if config is not None else ClusterScaleConfig()
+
+    def run(self) -> ClusterScaleReport:
+        """Run every shard count over the identical flow burst."""
+        cfg = self.config
+        throughput: dict[int, float] = {}
+        makespan: dict[int, float] = {}
+        decided: dict[int, int] = {}
+        loads: dict[int, dict[str, int]] = {}
+        wall_start = time.perf_counter()
+        for shards in cfg.shard_counts:
+            net = _build_cluster_net(
+                f"cluster-scale-{shards}",
+                shards=shards,
+                clients=cfg.clients,
+                config=cfg.controller_config(),
+                vnodes=cfg.vnodes,
+            )
+            self._inject_burst(net, cfg.flows, cfg.clients)
+            net.run()
+            last_decision = 0.0
+            decided_count = 0
+            per_shard: dict[str, int] = {}
+            for name, controller in net.cluster.replicas.items():
+                records = [r for r in controller.audit.records() if not r.cached]
+                per_shard[name] = len(records)
+                decided_count += len(records)
+                if records:
+                    last_decision = max(last_decision, records[-1].time)
+            makespan[shards] = last_decision
+            decided[shards] = decided_count
+            loads[shards] = per_shard
+            throughput[shards] = decided_count / last_decision if last_decision else 0.0
+        return ClusterScaleReport(
+            flows=cfg.flows,
+            throughput_by_shards=throughput,
+            makespan_by_shards=makespan,
+            decided_by_shards=decided,
+            shard_loads=loads,
+            wall_seconds=time.perf_counter() - wall_start,
+        )
+
+    @staticmethod
+    def _inject_burst(net: IdentPPClusterNetwork, flows: int, clients: int) -> None:
+        """Open ``flows`` unique flows at t=0 (a flash crowd of new sessions)."""
+        for index in range(flows):
+            client = net.host(f"client{index % clients}")
+            client.open_flow("http", "alice", "192.168.1.1", 80)
+
+
+# ----------------------------------------------------------------------
+# Failover churn soak
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ClusterFailoverConfig:
+    """Tunables of the kill-one-replica churn soak."""
+
+    shards: int = 4
+    clients: int = 8
+    #: Bursts model flash crowds: each burst queues work at every shard,
+    #: so the kill lands with punts genuinely in flight.
+    bursts: int = 20
+    burst_size: int = 20
+    burst_interval: float = 0.1
+    kill_after_burst: int = 10
+    policy_eval_delay: float = 2e-3
+    heartbeat_interval: float = 0.05
+    miss_threshold: int = 2
+    settle: float = 2.0
+
+    @property
+    def flows(self) -> int:
+        """Total unique flows injected."""
+        return self.bursts * self.burst_size
+
+    def controller_config(self) -> ControllerConfig:
+        """Return the per-replica config (serialized, tight deadline)."""
+        return ControllerConfig(
+            serialize_decisions=True,
+            policy_eval_delay=self.policy_eval_delay,
+            pending_deadline=1.0,
+        )
+
+
+@dataclass
+class ClusterFailoverReport:
+    """What the failover soak observed."""
+
+    flows: int
+    decided: int
+    failed_closed: int
+    flows_accounted: int
+    repunted_flows: int
+    repunted_messages: int
+    failovers: int
+    pending_after: int
+    buffered_after: int
+    killed_shard: str
+    adopted_punts: int
+    revocation_applied_to: tuple[str, ...] = ()
+    revocation_origin: str = ""
+    revocation_active_after: int = 0
+    epochs_converged: bool = False
+    resyncs: int = 0
+    wall_seconds: float = 0.0
+    # Computed from the fields above, never passed in.
+    violations: list[str] = field(init=False, default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.violations = self._compute_violations()
+
+    def _compute_violations(self) -> list[str]:
+        violations = []
+        if self.flows_accounted != self.flows:
+            violations.append(
+                f"only {self.flows_accounted}/{self.flows} flows reached a verdict"
+            )
+        if self.pending_after:
+            violations.append(f"{self.pending_after} flows still pending at drain")
+        if self.buffered_after:
+            violations.append(
+                f"{self.buffered_after} punted packets still buffered at drain"
+            )
+        if self.failovers < 1:
+            violations.append("the kill was never detected (no failover ran)")
+        if self.revocation_active_after:
+            violations.append(
+                f"revocation left {self.revocation_active_after} shards with the grant active"
+            )
+        if not self.epochs_converged:
+            violations.append("replica policy/delegation epochs diverged")
+        return violations
+
+    @property
+    def zero_loss(self) -> bool:
+        """True when no flow was lost open-ended (acceptance gate)."""
+        return not self.violations
+
+    def as_dict(self) -> dict[str, object]:
+        """Return a JSON-serialisable summary for the benchmark suite."""
+        return {
+            "flows": self.flows,
+            "decided": self.decided,
+            "failed_closed": self.failed_closed,
+            "flows_accounted": self.flows_accounted,
+            "repunted_flows": self.repunted_flows,
+            "repunted_messages": self.repunted_messages,
+            "failovers": self.failovers,
+            "pending_after": self.pending_after,
+            "buffered_after": self.buffered_after,
+            "killed_shard": self.killed_shard,
+            "adopted_punts": self.adopted_punts,
+            "revocation_applied_to": list(self.revocation_applied_to),
+            "revocation_origin": self.revocation_origin,
+            "epochs_converged": self.epochs_converged,
+            "resyncs": self.resyncs,
+            "zero_loss": self.zero_loss,
+            "violations": list(self.violations),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+class ClusterFailoverChurn:
+    """Kill a replica mid-churn and prove nothing is lost open-ended."""
+
+    def __init__(self, config: Optional[ClusterFailoverConfig] = None) -> None:
+        self.config = config if config is not None else ClusterFailoverConfig()
+
+    def run(self) -> ClusterFailoverReport:
+        """Run the soak and return the loss-accounting report."""
+        cfg = self.config
+        wall_start = time.perf_counter()
+        net = _build_cluster_net(
+            "cluster-failover",
+            shards=cfg.shards,
+            clients=cfg.clients,
+            config=cfg.controller_config(),
+            heartbeat_interval=cfg.heartbeat_interval,
+            miss_threshold=cfg.miss_threshold,
+        )
+        cluster = net.cluster
+        cluster.grant_delegation("secur", "beefcafe" * 8)
+
+        flows: list[FlowSpec] = []
+
+        def burst(index: int) -> None:
+            for offset in range(cfg.burst_size):
+                client = net.host(
+                    f"client{(index * cfg.burst_size + offset) % cfg.clients}"
+                )
+                packet, _, _ = client.open_flow("http", "alice", "192.168.1.1", 80)
+                flows.append(FlowSpec.from_packet(packet))
+
+        sim = net.topology.sim
+        for index in range(cfg.bursts):
+            sim.schedule_at(index * cfg.burst_interval, burst, index)
+        killed = cluster.shard_map.shards()[0]
+        # Kill a hair after a burst lands so the victim holds pending
+        # punts and has more in flight on its channels.
+        kill_time = cfg.kill_after_burst * cfg.burst_interval + 1e-3
+        sim.schedule_at(kill_time, cluster.kill, killed)
+
+        net.start_monitoring()
+        net.run(cfg.bursts * cfg.burst_interval + cfg.settle)
+        net.stop_monitoring()
+        net.run()  # drain every remaining decision/deadline event
+
+        # --- loss accounting -------------------------------------------------
+        records = cluster.audit_records()
+        decided_flows = {r.flow for r in records if not r.cached and r.rule_origin != "error"}
+        failed_closed = {r.flow for r in records if r.rule_origin == "error"}
+        accounted = {flow for flow in flows if flow in decided_flows or flow in failed_closed}
+        pending_after = cluster.pending_total()
+        buffered_after = sum(s.buffered_count() for s in net.switches.values())
+
+        # --- cluster-wide revocation after the failover ----------------------
+        # Issued while one replica is still a corpse: every live shard
+        # applies it now, and restoring the corpse resyncs it too — no
+        # revived shard may keep enforcing the revoked grant.
+        successor = cluster.shard_map.live_shards()[0]
+        revocation = cluster.revoke_delegation("secur", origin_shard=successor)
+        cluster.restore(killed)
+        net.run()
+        active_after = sum(
+            1 for c in cluster.replicas.values() if c.delegations.is_active("secur")
+        )
+
+        report = ClusterFailoverReport(
+            flows=len(flows),
+            decided=len(decided_flows),
+            failed_closed=len(failed_closed),
+            flows_accounted=len(accounted),
+            repunted_flows=cluster.repunted_flows,
+            repunted_messages=cluster.repunted_messages,
+            failovers=cluster.failovers,
+            pending_after=pending_after,
+            buffered_after=buffered_after,
+            killed_shard=killed,
+            # Punts the survivors adopted through the failover handoff.
+            adopted_punts=sum(c.repunts_adopted for c in cluster.replicas.values()),
+            revocation_applied_to=revocation.applied_to,
+            revocation_origin=revocation.origin_shard,
+            revocation_active_after=active_after,
+            epochs_converged=cluster.coordinator.verify_converged(),
+            resyncs=cluster.coordinator.resyncs,
+            wall_seconds=time.perf_counter() - wall_start,
+        )
+        return report
+
+
+def _print_report(payload: dict[str, object]) -> None:
+    width = max(len(key) for key in payload)
+    for key, value in payload.items():
+        print(f"  {key:<{width}}  {value}")
+
+
+def main() -> int:
+    """``make soak_cluster`` entry point: scale bench + failover soak, gated."""
+    print("running cluster scale bench (1 vs 4 shards, serialized decision loop) ...")
+    scale = ClusterScaleBench().run()
+    _print_report(scale.as_dict())
+
+    print("running cluster failover churn (kill one replica mid-run) ...")
+    failover = ClusterFailoverChurn().run()
+    _print_report(failover.as_dict())
+
+    ok = True
+    if scale.speedup < CLUSTER_SPEEDUP_FLOOR:
+        ok = False
+        print(
+            f"FAIL: 4-shard speedup {scale.speedup:.2f}x below the "
+            f"{CLUSTER_SPEEDUP_FLOOR:g}x acceptance floor"
+        )
+    if not failover.zero_loss:
+        ok = False
+        for violation in failover.violations:
+            print(f"FAIL: {violation}")
+    if ok:
+        print("cluster soak ok: sharding scales the decision loop, failover loses nothing")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -205,6 +205,110 @@ class TestControllerBase:
         assert controller.flow_mods.value == 1
 
 
+class TestMultiChannelRouting:
+    """A switch with one channel per controller and a shard router."""
+
+    def build_two_controller_fabric(self):
+        topo = Topology("fabric")
+        switch = topo.add_node(OpenFlowSwitch("sw1"))
+        host_a = topo.add_node(SinkNode("host-a"))
+        host_b = topo.add_node(SinkNode("host-b"))
+        topo.add_link(host_a, switch)
+        topo.add_link(host_b, switch)
+        primary, backup = RecordingController(), RecordingController()
+        primary.name, backup.name = "ctrl-a", "ctrl-b"
+        for controller in (primary, backup):
+            controller.attach(topo.sim)
+            controller.register_switch(switch)
+        switch.set_shard_router(lambda packet: ["ctrl-a", "ctrl-b"])
+        return topo, switch, host_a, primary, backup
+
+    def test_punt_goes_to_the_preferred_channel(self):
+        topo, switch, host_a, primary, backup = self.build_two_controller_fabric()
+        assert sorted(switch.channels) == ["ctrl-a", "ctrl-b"]
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert len(primary.messages) == 1
+        assert backup.messages == []
+
+    def test_dropped_channel_rehomes_punts_to_the_successor(self):
+        topo, switch, host_a, primary, backup = self.build_two_controller_fabric()
+        switch.channels["ctrl-a"].disconnect()
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert primary.messages == []
+        assert len(backup.messages) == 1
+        switch.channels["ctrl-a"].reconnect()
+        host_a.send(Packet.tcp("3.3.3.3", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert len(primary.messages) == 1
+
+    def test_all_channels_down_follows_fail_mode(self):
+        topo, switch, host_a, primary, backup = self.build_two_controller_fabric()
+        switch.channels["ctrl-a"].disconnect()
+        switch.channels["ctrl-b"].disconnect()
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert primary.messages == [] and backup.messages == []
+        assert switch.drops.value == 1  # fail-secure
+
+    def test_channel_counters_are_attributable_per_controller(self):
+        topo, switch, host_a, primary, backup = self.build_two_controller_fabric()
+        assert (switch.channels["ctrl-a"].to_controller_messages.name
+                == "sw1->ctrl-a.messages")
+        assert (switch.channels["ctrl-b"].to_switch_messages.name
+                == "ctrl-b->sw1.messages")
+        host_a.send(Packet.tcp("1.1.1.1", "2.2.2.2", 1, 80), host_a.port(1))
+        topo.run()
+        assert switch.channels["ctrl-a"].to_controller_messages.value == 1
+        assert switch.channels["ctrl-b"].to_controller_messages.value == 0
+
+    def test_stats_reply_returns_on_the_requesting_channel(self):
+        topo, switch, host_a, primary, backup = self.build_two_controller_fabric()
+        replies = {"ctrl-a": [], "ctrl-b": []}
+        primary.on_port_stats = lambda m: replies["ctrl-a"].append(m)
+        backup.on_port_stats = lambda m: replies["ctrl-b"].append(m)
+        backup.channel_for(switch).send_to_switch(StatsRequest())
+        topo.run()
+        # The reply goes to the requester, not the last-attached channel.
+        assert replies["ctrl-a"] == []
+        assert len(replies["ctrl-b"]) == 1
+
+    def test_channel_drop_mid_punt_repunts_without_pending_leak(self):
+        """End-to-end satellite: owner dies mid-punt, the successor decides,
+        and no controller is left holding a ``_pending`` entry."""
+        from repro.core.network import HostSpec, IdentPPClusterNetwork
+        from repro.identpp.flowspec import FlowSpec
+
+        net = IdentPPClusterNetwork(
+            "rehome", shards=3, policy_default_action="block",
+            heartbeat_interval=0.05, miss_threshold=2,
+        )
+        sw = net.add_switch("sw")
+        net.add_host(HostSpec(name="client", ip="192.168.0.10",
+                              users={"alice": ("users",)}), switch=sw)
+        server = net.add_host(HostSpec(name="server", ip="192.168.1.1"), switch=sw)
+        server.run_server("httpd", "root", 80)
+        net.set_policy({"00.control": "block all\npass from any to any port 80 keep state\n"})
+
+        packet, _, _ = net.host("client").open_flow("http", "alice", "192.168.1.1", 80)
+        flow = FlowSpec.from_packet(packet)
+        owner = net.cluster.shard_map.owner(flow)
+        net.run(0.0005)  # punt now pending at the owner
+        assert net.cluster.replicas[owner].pending_flows() == [flow]
+
+        net.start_monitoring()
+        net.cluster.kill(owner)
+        net.run(1.0)
+        net.stop_monitoring()
+        net.run()
+
+        assert len(server.delivered) == 1
+        assert all(c.pending_flows() == [] for c in net.cluster.replicas.values())
+        assert sw.buffered_count() == 0
+        assert net.cluster.repunted_flows == 1
+
+
 class TestLearningSwitch:
     def test_learns_and_installs_path(self):
         controller = LearningSwitchController()

@@ -231,6 +231,10 @@ class TestControllerFlushIsolation:
                 self.policy = engine
                 self._decision_queue = []
                 self._flush_scheduled = False
+                self.halted = False
+                # The real flush skips flows whose punt generation no
+                # longer matches; here every queued flow is current.
+                self._pending_since = {}
                 self.finished = []
                 self.failed_closed = []
 
@@ -251,6 +255,7 @@ class TestControllerFlushIsolation:
             (bad, None, None, [], 0.0),
             (good_b, None, None, [], 0.0),
         ]
+        controller._pending_since = {good_a: 0.0, bad: 0.0, good_b: 0.0}
         from repro.exceptions import PFEvalError
 
         controller._flush_decisions()
