@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-experiments soak soak_cluster
+.PHONY: test bench bench-experiments soak soak_cluster soak_fabric docs_check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -14,6 +14,12 @@ soak:
 
 soak_cluster:
 	$(PYTHON) -m repro.workloads.cluster
+
+soak_fabric:
+	$(PYTHON) -m repro.workloads.fabric
+
+docs_check:
+	$(PYTHON) tools/check_docs.py
 
 bench-experiments:
 	$(PYTHON) -m pytest benchmarks/bench_*.py --benchmark-only -s

@@ -39,6 +39,10 @@ from repro.workloads.cluster import (  # noqa: E402
     ClusterFailoverChurn,
     ClusterScaleBench,
 )
+from repro.workloads.fabric import (  # noqa: E402
+    FABRIC_SLOWDOWN_CEILING,
+    FabricScaleBench,
+)
 from repro.workloads.generators import FlowGenerator, FlowTemplate  # noqa: E402
 from repro.workloads.paper_configs import figure2_control_files  # noqa: E402
 
@@ -206,6 +210,15 @@ def bench_cluster(results: dict) -> None:
     results["cluster_failover_churn"] = ClusterFailoverChurn().run().as_dict()
 
 
+def bench_fabric(results: dict) -> None:
+    """Fabric: path-wide install, mid-path fail-closed, 4-leaf throughput."""
+    report = FabricScaleBench().run()
+    entry = report.as_dict()
+    # Headline ops/s: decided-flows per simulated second on the 4-leaf fabric.
+    entry["ops_per_sec"] = entry["fabric_decided_per_vsec"]
+    results["fabric_scale_bench"] = entry
+
+
 def main() -> int:
     results: dict = {}
     print("running hot-path benchmarks ...")
@@ -218,6 +231,8 @@ def main() -> int:
     bench_churn_soak(results)
     print("running cluster scale + failover benches ...")
     bench_cluster(results)
+    print("running fabric path-wide enforcement bench ...")
+    bench_fabric(results)
 
     derived = {
         "compiled_speedup_2000_rules": round(
@@ -234,6 +249,15 @@ def main() -> int:
         "soak_fail_closed": results["soak_fail_closed_probe"]["failed_closed"],
         "cluster_speedup_4_shards": results["cluster_scale_1_to_4"]["speedup"],
         "cluster_failover_zero_loss": results["cluster_failover_churn"]["zero_loss"],
+        "fabric_one_punt_per_flow": (
+            results["fabric_scale_bench"]["punts_total"]
+            == results["fabric_scale_bench"]["flows"]
+        ),
+        "fabric_fail_closed": results["fabric_scale_bench"]["fail_closed"]
+        and results["fabric_scale_bench"]["unwound"],
+        "fabric_slowdown_vs_single_switch": results["fabric_scale_bench"][
+            "slowdown_vs_single_switch"
+        ],
     }
     payload = {
         "command": "python benchmarks/run_benchmarks.py",
@@ -270,6 +294,9 @@ def main() -> int:
         return 1
     if not derived["cluster_failover_zero_loss"]:
         print("FAIL: cluster failover lost flows (see cluster_failover_churn.violations)")
+        return 1
+    if not results["fabric_scale_bench"]["gates_ok"]:
+        print("FAIL: fabric bench gates failed (see fabric_scale_bench.violations)")
         return 1
     return 0
 

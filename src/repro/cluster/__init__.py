@@ -6,7 +6,9 @@
   ident++ controller replicas; switches hold one channel per replica
   and punt each flow to its owning shard.
 * :mod:`repro.cluster.failover` — heartbeat-driven failure detection,
-  ring re-homing and re-punting of a dead shard's in-flight flows.
+  ring re-homing and re-punting of a dead shard's in-flight flows
+  (including its path-install registry, so multi-hop flow state
+  installed "along the path", §3.4, still unwinds after a crash).
 * :mod:`repro.cluster.coordinator` — cluster-wide propagation of policy
   reloads and delegation grants/revocations, with origin-shard audit.
 """

@@ -1,7 +1,7 @@
 """A sharded cluster of ident++ controllers behind one consistent-hash map.
 
-The paper's single controller is the scalability chokepoint: every new
-flow punts to one decision loop.  :class:`ControllerCluster` fronts N
+The paper's single controller (§3.4) is the scalability chokepoint:
+every new flow punts to one decision loop.  :class:`ControllerCluster` fronts N
 :class:`~repro.core.controller.IdentPPController` replicas with a
 :class:`~repro.cluster.shard_map.ShardMap`:
 
@@ -15,7 +15,12 @@ flow punts to one decision loop.  :class:`ControllerCluster` fronts N
 * a :class:`~repro.cluster.coordinator.ClusterCoordinator` applies
   policy reloads and delegation grants/revocations to every replica in
   one call, so a ``revoke_delegation`` issued on any shard takes effect
-  cluster-wide, with the originating shard audited.
+  cluster-wide, with the originating shard audited ("override, audit,
+  and revoke the delegation when necessary", §7);
+* multi-hop path installs (flow entries "along the path", §3.4) are
+  owned by each flow's shard; a failover re-homes both the dead
+  shard's pending punts and its path-unwinding duty, so a
+  ``FlowRemoved`` from any hop still tears the whole path down.
 """
 
 from __future__ import annotations
@@ -36,7 +41,7 @@ from repro.identpp.flowspec import FlowSpec
 from repro.netsim.packet import Packet
 from repro.netsim.topology import Topology
 from repro.openflow.channel import DEFAULT_CONTROL_LATENCY
-from repro.openflow.messages import PacketIn
+from repro.openflow.messages import FlowRemoved, PacketIn
 from repro.openflow.switch import OpenFlowSwitch
 
 
@@ -171,7 +176,36 @@ class ControllerCluster:
         # halted inbox must be decided under the policy/delegation state
         # the corpse missed, not the stale pre-crash one.
         self.coordinator.resync(shard)
+        # With the owner's channels back up, switches route FlowRemoved
+        # for its cookies to it again — so it reclaims the path installs
+        # a failover handed to the fallback replica.  Reclaim *before*
+        # replaying the backlog: a FlowRemoved frozen in the inbox must
+        # find the registry it is meant to unwind.
+        reclaimed: list = []
+        for name, replica in self.replicas.items():
+            if name != shard:
+                reclaimed.extend(replica.export_path_installs(prefix=f"{shard}:"))
+        if reclaimed:
+            controller.adopt_path_installs(reclaimed)
+        # Drain the backlog here rather than letting resume() replay it
+        # blindly: while halted-but-connected this replica may have been
+        # handed FlowRemoved for *other* shards' cookies (switch fallback
+        # routing picks the first connected channel) whose registry lives
+        # on the replica that adopted them — route each to its holder.
+        backlog = controller.take_halted_messages()
         controller.resume()
+        for message in backlog:
+            if isinstance(message, FlowRemoved):
+                holder = next(
+                    (
+                        c for c in self.replicas.values()
+                        if c.has_path_install(message.cookie)
+                    ),
+                    controller,
+                )
+                holder.handle_message(message)
+            else:
+                controller.handle_message(message)
         self.monitor.note_revived(shard)
 
     def fail_over(self, shard: str) -> int:
@@ -192,6 +226,16 @@ class ControllerCluster:
         if self.shard_map.is_live(shard):
             self.shard_map.mark_dead(shard)
         self.failovers += 1
+        # Re-home the corpse's multi-hop path installs: a dead shard can
+        # never hear the FlowRemoved that should unwind them.  They go to
+        # the replica a switch's FlowRemoved fallback routing will pick
+        # (first connected channel in sorted name order), so the adopter
+        # is the shard that will actually receive those messages.  With
+        # no adopter (total outage) the registry stays on the corpse —
+        # restore() revives it with its unwind duty intact.
+        adopter = self._flow_removed_fallback()
+        if adopter is not None:
+            adopter.adopt_path_installs(dead.export_path_installs())
         repunted_keys: set[str] = set()
         for flow, messages in dead.export_pending():
             successor = self.controller_for(flow)
@@ -201,14 +245,41 @@ class ControllerCluster:
             if messages:
                 repunted_keys.add(flow_key(flow))
         for message in dead.take_halted_messages():
-            # The dead process's socket backlog: only punts still matter.
+            # The dead process's socket backlog: punts re-home to their
+            # owners; FlowRemoved notices go to the path adopter (they may
+            # be the very trigger for an adopted install's unwind).
             if isinstance(message, PacketIn):
                 key = self._routing_key(message.packet)
                 self.replicas[self.shard_map.owner_of_key(key)].adopt_punt(message)
                 self.repunted_messages += 1
                 repunted_keys.add(key)
+            elif isinstance(message, FlowRemoved):
+                fallback = self._flow_removed_fallback()
+                if fallback is not None:
+                    fallback.handle_message(message)
         self.repunted_flows += len(repunted_keys)
         return len(repunted_keys)
+
+    def _flow_removed_fallback(self) -> Optional[IdentPPController]:
+        """Return the replica that receives FlowRemoved for dead owners.
+
+        Mirrors :meth:`OpenFlowSwitch._owner_channel`'s fallback: when a
+        cookie's owning channel is down, the switch delivers the notice
+        to the first *connected* channel in sorted controller-name
+        order.  Path-install adoption must land on the same replica or
+        the unwind never fires — so the predicate here is channel
+        connectivity, same as the switch's, with halted replicas
+        additionally skipped (a notice delivered to a halted-but-still-
+        connected replica lands in its halted inbox, and the next
+        fail_over forwards it back here).
+        """
+        for name in sorted(self.replicas):
+            controller = self.replicas[name]
+            if controller.halted:
+                continue
+            if any(channel.connected for channel in controller.channels.values()):
+                return controller
+        return None
 
     # ------------------------------------------------------------------
     # Cluster-wide configuration (delegated to the coordinator)
@@ -260,6 +331,10 @@ class ControllerCluster:
             "failovers": self.failovers,
             "repunted_flows": self.repunted_flows,
             "repunted_messages": self.repunted_messages,
+            "path_installs": sum(
+                c.path_install_count() for c in self.replicas.values()
+            ),
+            "path_unwinds": sum(c.path_unwinds for c in self.replicas.values()),
             "shard_map": self.shard_map.stats(),
             "monitor": self.monitor.stats(),
             "coordinator": self.coordinator.stats(),

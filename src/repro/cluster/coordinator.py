@@ -182,10 +182,24 @@ class ClusterCoordinator:
                 f"no replica holds an active grant for principal {principal!r}"
             )
 
+        # Gather every replica's decision cookies for the grant before
+        # revoking: a failover may have re-homed a cookie's path-install
+        # registry to a replica other than the one that decided it, and
+        # the (silent) entry removal below means no FlowRemoved will
+        # ever clean that registry up.
+        revoked_cookies = frozenset(
+            cookie
+            for c in self.cluster.replicas.values()
+            for cookie in c.delegations.decisions_for(principal)
+        )
+
         def apply(controller: IdentPPController) -> int:
+            removed = 0
             if controller.delegations.is_active(principal):
-                return controller.revoke_delegation(principal)
-            return 0
+                removed = controller.revoke_delegation(principal)
+            for cookie in revoked_cookies:
+                controller.discard_path_install(cookie)
+            return removed
 
         return self._propagate(
             "revocation", origin_shard, f"principal={principal}", apply

@@ -1,6 +1,9 @@
 """Heartbeat-driven shard failure detection and pending-flow re-punt.
 
-A dead replica strands three kinds of flows:
+The paper's centralised controller (§3.4) is also a single point of
+failure; the sharded cluster removes it only if a dead replica's
+in-flight work is re-homed rather than stranded.  A dead replica
+strands three kinds of flows:
 
 1. flows in its ``_pending`` table — punts it accepted but never
    decided (queries or the decision event froze with the process);

@@ -1,7 +1,7 @@
 """Consistent-hash assignment of flows to controller shards.
 
-The single ident++ controller is the scalability chokepoint: every new
-flow punts to one decision loop.  The cluster splits that load across N
+The single ident++ controller (§3.4) is the scalability chokepoint:
+every new flow punts to one decision loop.  The cluster splits that load across N
 replicas with a consistent-hash ring — each shard owns many virtual
 nodes, a flow hashes to the first virtual node clockwise from its own
 hash — so
@@ -48,8 +48,8 @@ def flow_key(flow: FlowSpec) -> str:
     """Return the canonical (direction-independent) hash key of a flow.
 
     The endpoint pair is ordered so ``a->b`` and ``b->a`` share a key:
-    reply traffic of a ``keep state`` decision must punt to the shard
-    that cached the decision.
+    reply traffic of a ``keep state`` decision (PF's stateful pass,
+    §3.2) must punt to the shard that cached the decision.
     """
     forward = (str(flow.src_ip), flow.src_port)
     reverse = (str(flow.dst_ip), flow.dst_port)

@@ -18,10 +18,18 @@ simulated OpenFlow network:
    dictionaries,
 4. on *pass*, flow entries are installed along the whole path (and the
    reverse path for ``keep state`` rules) and the buffered packet is
-   released; on *block*, a drop entry caches the negative decision,
+   released; on *block*, a drop entry caches the negative decision at
+   the flow's **first** enforcement hop only (a denial never needs to
+   burn table space mid-path — packets stopped at ingress cannot reach
+   the other hops),
 5. every decision is recorded in the audit log, attributed to delegation
    grants when ``allowed()``/``verify()`` made the difference, and can be
    revoked later.
+
+Multi-hop installs are remembered per decision cookie: a ``FlowRemoved``
+from *any* hop (idle timeout, eviction, lifecycle sweep) unwinds the
+remaining hops with cookie-scoped deletes, so one flow's path state
+lives and dies as a unit instead of decaying hop by hop.
 """
 
 from __future__ import annotations
@@ -47,11 +55,24 @@ from repro.openflow.actions import DropAction, FloodAction, OutputAction
 from repro.openflow.channel import DEFAULT_CONTROL_LATENCY
 from repro.openflow.controller_base import Controller
 from repro.openflow.match import Match
-from repro.openflow.messages import PacketIn
+from repro.openflow.messages import FlowRemoved, PacketIn
 from repro.openflow.switch import OpenFlowSwitch
 
 #: Time charged for one PF+=2 policy evaluation at the controller.
 DEFAULT_POLICY_EVAL_DELAY = 100e-6
+
+
+@dataclass(frozen=True)
+class PathInstall:
+    """The datapath footprint of one multi-hop decision (§3.4).
+
+    Records which switches hold flow entries for a decision cookie, so
+    a ``FlowRemoved`` from any one hop can unwind the others and a
+    failover can re-home the unwinding duty to a live replica.
+    """
+
+    flow: FlowSpec
+    switches: tuple[str, ...]
 
 
 @dataclass
@@ -137,6 +158,11 @@ class IdentPPController(Controller):
         self.policy_errors = 0
         self.pending_expired = 0
         self.repunts_adopted = 0
+        # cookie -> PathInstall for decisions whose entries span more
+        # than one switch; consulted by on_flow_removed to tear the
+        # whole path down when any hop reports its entry gone.
+        self._path_installs: dict[str, PathInstall] = {}
+        self.path_unwinds = 0
         self.lifecycle = LifecycleService(
             name=f"{name}.lifecycle", interval=self.config.lifecycle_interval
         )
@@ -238,7 +264,8 @@ class IdentPPController(Controller):
         cached = self.cache.lookup(flow, arrival)
         if cached is not None:
             self._apply_verdict_to_datapath(
-                flow, [message], cached.action == "pass", cached.cookie, keep_state=cached.keep_state
+                flow, [message], cached.action == "pass", cached.cookie,
+                keep_state=cached.keep_state, from_cache=True,
             )
             self.audit.record(
                 DecisionRecord(
@@ -540,18 +567,33 @@ class IdentPPController(Controller):
         cookie: str,
         *,
         keep_state: bool,
+        from_cache: bool = False,
     ) -> None:
         if allowed:
             installed = self._install_path(flow, cookie, keep_state=keep_state)
             for message in pending:
                 self._release_packet(message, flow, installed)
-        else:
-            for message in pending:
+            return
+        drop_match = Match.from_five_tuple(
+            flow.src_ip, flow.dst_ip, flow.proto, flow.src_port, flow.dst_port
+        )
+        # Drop-at-first-hop: a fresh denial is enforced at the flow's
+        # ingress switch only.  Packets stopped there never reach the
+        # rest of the path, so caching the block mid-path would burn k-1
+        # table entries per denial for nothing.  A *repeat* punt (cache
+        # hit) proves the punting switch does keep seeing the flow —
+        # flooding, a fail-open neighbour, an expired ingress entry — so
+        # it earns a drop entry of its own, bounding the punt stream to
+        # one per switch instead of one per packet.
+        ingress = None if from_cache else self._first_enforcement_hop(flow)
+        ingress_covered = False
+        for message in pending:
+            if from_cache or ingress is None or message.switch.name == ingress.name:
+                if ingress is not None:
+                    ingress_covered = True
                 self.install_flow(
                     message.switch,
-                    Match.from_five_tuple(
-                        flow.src_ip, flow.dst_ip, flow.proto, flow.src_port, flow.dst_port
-                    ),
+                    drop_match,
                     [DropAction()],
                     priority=self.config.drop_priority,
                     idle_timeout=self.config.idle_timeout,
@@ -563,6 +605,26 @@ class IdentPPController(Controller):
                     cookie=cookie,
                     buffer_id=message.buffer_id,
                 )
+            else:
+                # A mid-path switch punted (its hop entry expired out of
+                # step with the ingress one): release its buffer to drop
+                # without installing an entry there.
+                self.send_packet_out(
+                    message.switch,
+                    actions=[DropAction()],
+                    buffer_id=message.buffer_id,
+                    in_port=message.in_port,
+                )
+        if ingress is not None and not ingress_covered:
+            self.install_flow(
+                ingress,
+                drop_match,
+                [DropAction()],
+                priority=self.config.drop_priority,
+                idle_timeout=self.config.idle_timeout,
+                hard_timeout=self.config.decision_ttl,
+                cookie=cookie,
+            )
 
     def _install_path(self, flow: FlowSpec, cookie: str, *, keep_state: bool) -> dict[str, int]:
         """Install forward (and, for ``keep state``, reverse) entries along the path.
@@ -581,6 +643,7 @@ class IdentPPController(Controller):
         reverse_match = Match.from_five_tuple(
             reverse.src_ip, reverse.dst_ip, reverse.proto, reverse.src_port, reverse.dst_port
         )
+        touched: set[str] = set()
         for index, node in enumerate(path):
             if not isinstance(node, OpenFlowSwitch) or node.name not in self.channels:
                 continue
@@ -598,6 +661,7 @@ class IdentPPController(Controller):
                     hard_timeout=self.config.hard_timeout,
                     cookie=cookie,
                 )
+                touched.add(node.name)
             if keep_state and previous_node is not None:
                 back_port = self.topology.egress_port(node, previous_node).number
                 self.install_flow(
@@ -609,7 +673,24 @@ class IdentPPController(Controller):
                     hard_timeout=self.config.hard_timeout,
                     cookie=cookie,
                 )
+                touched.add(node.name)
+        if len(touched) > 1:
+            # Single-switch installs need no unwinding; multi-hop ones
+            # are registered so the first FlowRemoved tears down the rest.
+            self._path_installs[cookie] = PathInstall(
+                flow=flow, switches=tuple(sorted(touched))
+            )
         return egress_by_switch
+
+    def _first_enforcement_hop(self, flow: FlowSpec) -> Optional[OpenFlowSwitch]:
+        """Return the first managed switch on the flow's path (its ingress hop)."""
+        path = self._path_for_flow(flow)
+        if path is None:
+            return None
+        for node in path:
+            if isinstance(node, OpenFlowSwitch) and node.name in self.channels:
+                return node
+        return None
 
     def _path_for_flow(self, flow: FlowSpec) -> Optional[list[Node]]:
         source = self.topology.node_for_ip(flow.src_ip)
@@ -632,6 +713,91 @@ class IdentPPController(Controller):
         self.send_packet_out(
             message.switch, actions=actions, buffer_id=message.buffer_id, in_port=message.in_port
         )
+
+    # ------------------------------------------------------------------
+    # Path-wide teardown (one hop's expiry unwinds the whole path)
+    # ------------------------------------------------------------------
+
+    def on_flow_removed(self, message: FlowRemoved) -> None:
+        """Unwind the rest of a multi-hop install when any hop loses its entry.
+
+        A flow entry disappearing from one hop — idle timeout, hard
+        timeout, capacity eviction, a lifecycle sweep — means the path
+        no longer forwards end to end, so the entries still resident on
+        the other hops are dead weight at best and, after rerouting, a
+        correctness hazard.  The first ``FlowRemoved`` for a registered
+        cookie tears the remaining hops down with cookie-scoped deletes
+        (silent by OpenFlow semantics: explicit deletes do not generate
+        further ``FlowRemoved``, so teardown cannot cascade).  The
+        reporting switch is deleted-from too: it may still hold the
+        decision's *other* entry (a ``keep state`` reverse entry whose
+        twin idle-expired first), and path state must die as a unit.
+        """
+        install = self._path_installs.pop(message.cookie, None)
+        if install is None:
+            return
+        self.path_unwinds += 1
+        for name in install.switches:
+            channel = self.channels.get(name)
+            if channel is not None and channel.connected:
+                self.remove_flows_by_cookie(name, message.cookie)
+
+    def export_path_installs(
+        self, prefix: Optional[str] = None
+    ) -> list[tuple[str, PathInstall]]:
+        """Hand over registered multi-hop installs (failover/restore handoff).
+
+        With ``prefix`` only cookies starting with it are exported (a
+        restore reclaims exactly the revived shard's own decisions);
+        without it the whole registry is drained.  Exported installs are
+        removed here — exactly one controller must own each unwind.
+        """
+        if prefix is None:
+            items = sorted(self._path_installs.items())
+            self._path_installs.clear()
+            return items
+        items = sorted(
+            (cookie, install)
+            for cookie, install in self._path_installs.items()
+            if cookie.startswith(prefix)
+        )
+        for cookie, _ in items:
+            del self._path_installs[cookie]
+        return items
+
+    def adopt_path_installs(self, items: Sequence[tuple[str, PathInstall]]) -> None:
+        """Take over unwinding duty for another replica's multi-hop installs.
+
+        Used by the cluster failover (a dead shard cannot hear
+        ``FlowRemoved``) and by restore (the revived owner reclaims its
+        own cookies).
+        """
+        for cookie, install in items:
+            self._path_installs[cookie] = install
+
+    def path_install_count(self) -> int:
+        """Return how many multi-hop installs this controller is tracking."""
+        return len(self._path_installs)
+
+    def discard_path_install(self, cookie: str) -> bool:
+        """Forget a cookie's path registry entry without touching switches.
+
+        Used by cluster-wide revocation: the revoking replica already
+        removed the entries from every switch (silently, so no
+        ``FlowRemoved`` will ever arrive), meaning any *other* replica
+        still holding unwind duty for the cookie — a failover adopter,
+        or the owner itself on resync replay — must drop the stale
+        entry or it leaks forever.
+        """
+        return self._path_installs.pop(cookie, None) is not None
+
+    def has_path_install(self, cookie: str) -> bool:
+        """Return whether this controller holds the path registry for ``cookie``.
+
+        The cluster uses this to route a thawed ``FlowRemoved`` to the
+        replica that adopted the cookie's unwinding duty.
+        """
+        return cookie in self._path_installs
 
     def _forward_control_traffic(self, message: PacketIn) -> None:
         """Forward ident++ protocol packets toward their destination without policy."""
@@ -772,6 +938,9 @@ class IdentPPController(Controller):
         for switch in self.switches():
             removed += switch.flow_table.remove_by_cookie(cookie)
         self.cache.invalidate_cookie(cookie)
+        # The revocation just did the unwinding; a later FlowRemoved for
+        # this cookie must not re-tear a path that is already gone.
+        self._path_installs.pop(cookie, None)
         return removed
 
     def revoke_delegation(self, principal: str) -> int:
@@ -805,6 +974,8 @@ class IdentPPController(Controller):
             "lifecycle": self.lifecycle.stats(),
             "pending_flows": len(self._pending),
             "pending_expired": self.pending_expired,
+            "path_installs": len(self._path_installs),
+            "path_unwinds": self.path_unwinds,
             "policy_errors": self.policy_errors,
             "repunts_adopted": self.repunts_adopted,
             "halted": self.halted,

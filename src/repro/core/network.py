@@ -31,6 +31,12 @@ from repro.hosts.endhost import EndHost
 from repro.identpp.daemon import IdentPPDaemon
 from repro.identpp.flowspec import FlowSpec
 from repro.netsim.addresses import IPv4Address
+from repro.netsim.fabrics import (
+    FatTreeFabric,
+    SpineLeafFabric,
+    build_fat_tree,
+    build_spine_leaf,
+)
 from repro.netsim.links import DEFAULT_BANDWIDTH, DEFAULT_LATENCY
 from repro.netsim.topology import Topology
 from repro.openflow.switch import OpenFlowSwitch
@@ -180,14 +186,83 @@ class IdentPPNetwork:
         """Create a switch, add it to the topology and register it with a controller."""
         switch = OpenFlowSwitch(name, table_capacity=table_capacity, trace=self.topology.trace)
         self.topology.add_node(switch)
+        self._register_switch(switch, controller)
+        return switch
+
+    def _register_switch(
+        self, switch: OpenFlowSwitch, controller: Optional[IdentPPController]
+    ) -> None:
+        """Register an already-placed switch with the control plane."""
         if controller is not None:
             controller.register_switch(switch)
         elif self.cluster is not None:
             self.cluster.register_switch(switch)
         else:
             self._default_controller().register_switch(switch)
-        self.switches[name] = switch
-        return switch
+        self.switches[switch.name] = switch
+
+    def add_spine_leaf_fabric(
+        self,
+        *,
+        spines: int = 2,
+        leaves: int = 4,
+        prefix: str = "fabric",
+        controller: Optional[IdentPPController] = None,
+        table_capacity: Optional[int] = None,
+    ) -> SpineLeafFabric:
+        """Grow a spine-leaf enforcement fabric inside this network.
+
+        Every switch is an :class:`OpenFlowSwitch` registered with the
+        control plane (the explicit ``controller``, the cluster, or the
+        default controller), so punts, path-wide installs and
+        ``FlowRemoved``-driven unwinding work across every hop.  Attach
+        hosts to ``fabric.leaves`` entries with :meth:`add_host`.
+        """
+        fabric = build_spine_leaf(
+            self._fabric_switch_factory(table_capacity),
+            spines=spines,
+            leaves=leaves,
+            topology=self.topology,
+            prefix=prefix,
+            latency=self.link_latency,
+            bandwidth=self.link_bandwidth,
+        )
+        for switch in fabric.switches():
+            self._register_switch(switch, controller)
+        return fabric
+
+    def add_fat_tree_fabric(
+        self,
+        *,
+        k: int = 4,
+        prefix: str = "ft",
+        controller: Optional[IdentPPController] = None,
+        table_capacity: Optional[int] = None,
+    ) -> FatTreeFabric:
+        """Grow a k-ary fat-tree enforcement fabric inside this network.
+
+        Same registration semantics as :meth:`add_spine_leaf_fabric`;
+        attach hosts to the edge switches (``fabric.pod_edges(pod)``).
+        """
+        fabric = build_fat_tree(
+            self._fabric_switch_factory(table_capacity),
+            k=k,
+            topology=self.topology,
+            prefix=prefix,
+            latency=self.link_latency,
+            bandwidth=self.link_bandwidth,
+        )
+        for switch in fabric.switches():
+            self._register_switch(switch, controller)
+        return fabric
+
+    def _fabric_switch_factory(self, table_capacity: Optional[int]):
+        """Return the switch factory the netsim fabric builders call."""
+        def factory(name: str) -> OpenFlowSwitch:
+            return OpenFlowSwitch(
+                name, table_capacity=table_capacity, trace=self.topology.trace
+            )
+        return factory
 
     def add_host(
         self,

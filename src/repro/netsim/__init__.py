@@ -12,7 +12,9 @@ simulator with
 * nodes with named ports and point-to-point links with latency and
   bandwidth (:mod:`repro.netsim.nodes`, :mod:`repro.netsim.links`),
 * a :class:`~repro.netsim.topology.Topology` builder backed by
-  :mod:`networkx` for path computations, and
+  :mod:`networkx` for path computations,
+* multi-stage fabric builders — spine-leaf and k-ary fat-tree — for
+  path-wide enforcement at scale (:mod:`repro.netsim.fabrics`), and
 * statistics and packet-trace helpers
   (:mod:`repro.netsim.statistics`, :mod:`repro.netsim.trace`).
 
@@ -28,6 +30,12 @@ from repro.netsim.addresses import (
     MACAddress,
 )
 from repro.netsim.events import Event, Simulator
+from repro.netsim.fabrics import (
+    FatTreeFabric,
+    SpineLeafFabric,
+    build_fat_tree,
+    build_spine_leaf,
+)
 from repro.netsim.links import Link
 from repro.netsim.nodes import Node, Port
 from repro.netsim.packet import (
@@ -49,6 +57,10 @@ __all__ = [
     "MACAddress",
     "Event",
     "Simulator",
+    "FatTreeFabric",
+    "SpineLeafFabric",
+    "build_fat_tree",
+    "build_spine_leaf",
     "Link",
     "Node",
     "Port",

@@ -13,6 +13,7 @@ index so controllers and daemons can resolve the hosts behind a flow.
 
 from __future__ import annotations
 
+import heapq
 from typing import Iterable, Iterator, Optional
 
 import networkx as nx
@@ -37,6 +38,10 @@ class Topology:
         self._graph = nx.Graph()
         self._mac_index = 0
         self._ip_to_node: dict[IPv4Address, Node] = {}
+        # (source, target) name pair -> shortest path (as names); valid
+        # until the graph gains a node or link.  Path-wide flow install
+        # resolves one path per decision, so repeat pairs are the hot case.
+        self._path_cache: dict[tuple[str, str], list[str]] = {}
 
     # ------------------------------------------------------------------
     # Nodes
@@ -49,6 +54,7 @@ class Topology:
         node.attach(self.sim)
         self._nodes[node.name] = node
         self._graph.add_node(node.name)
+        self._path_cache.clear()
         return node
 
     def node(self, name: str) -> Node:
@@ -120,6 +126,7 @@ class Topology:
         link = Link(end_a, end_b, latency=latency, bandwidth=bandwidth)
         self._links.append(link)
         self._graph.add_edge(node_a.name, node_b.name, latency=latency, link=link)
+        self._path_cache.clear()
         return link
 
     def links(self) -> list[Link]:
@@ -156,16 +163,57 @@ class Topology:
         return self._graph
 
     def shortest_path(self, source: Node | str, target: Node | str) -> list[Node]:
-        """Return the latency-weighted shortest path as a list of nodes (inclusive)."""
+        """Return the latency-weighted shortest path as a list of nodes (inclusive).
+
+        Equal-latency ties (the normal case on spine-leaf and fat-tree
+        fabrics, where every leaf pair has one path per spine) break
+        deterministically: the fewest hops win, then the
+        lexicographically smallest node-name sequence.  Path-wide flow
+        install depends on this — every decision about a flow, on any
+        controller, must resolve the *same* hop set.  Results are cached
+        until the topology gains a node or link.
+        """
         source_name = self._resolve(source).name
         target_name = self._resolve(target).name
-        try:
-            names = nx.shortest_path(self._graph, source_name, target_name, weight="latency")
-        except nx.NetworkXNoPath as exc:
-            raise TopologyError(f"no path from {source_name} to {target_name}") from exc
-        except nx.NodeNotFound as exc:
-            raise TopologyError(str(exc)) from exc
+        names = self._path_cache.get((source_name, target_name))
+        if names is None:
+            names = self._lex_shortest_path(source_name, target_name)
+            self._path_cache[(source_name, target_name)] = names
         return [self._nodes[name] for name in names]
+
+    def _lex_shortest_path(self, source: str, target: str) -> list[str]:
+        """One uniform-cost search keyed on ``(latency, hops, path names)``.
+
+        A single Dijkstra-style pass whose heap key carries the path
+        itself: the first time ``target`` pops, its key is minimal, so
+        the result is the fewest-hop, lexicographically smallest of the
+        minimum-latency paths — *without* enumerating the (potentially
+        combinatorial) set of equal-cost paths.  Key extension is
+        monotone (latency ≥ 0, hops +1) and prefix comparison decides
+        equal-length path ties, so the standard first-pop finalization
+        argument carries over to the composite key.
+        """
+        graph = self._graph
+        if source not in graph or target not in graph:
+            missing = source if source not in graph else target
+            raise TopologyError(f"node {missing} is not in the graph")
+        heap: list[tuple[float, int, tuple[str, ...]]] = [(0.0, 0, (source,))]
+        finalized: set[str] = set()
+        while heap:
+            latency, hops, path = heapq.heappop(heap)
+            node = path[-1]
+            if node in finalized:
+                continue
+            finalized.add(node)
+            if node == target:
+                return list(path)
+            for neighbor, data in graph[node].items():
+                if neighbor not in finalized:
+                    heapq.heappush(
+                        heap,
+                        (latency + data["latency"], hops + 1, path + (neighbor,)),
+                    )
+        raise TopologyError(f"no path from {source} to {target}")
 
     def path_latency(self, source: Node | str, target: Node | str) -> float:
         """Return the sum of link latencies along the shortest path."""

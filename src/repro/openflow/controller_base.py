@@ -171,6 +171,22 @@ class Controller:
         self.channel_for(switch).send_to_switch(message)
         return message
 
+    def remove_flows_by_cookie(self, switch: OpenFlowSwitch | str, cookie: str) -> FlowMod:
+        """Send a wildcard delete scoped to one decision's ``cookie``.
+
+        Removes every entry the decision installed on ``switch`` and
+        nothing else — the message the path unwinder sends to the other
+        hops when a ``FlowRemoved`` reports one hop's entry gone.
+        """
+        message = FlowMod(
+            match=Match(),
+            command=FlowModCommand.DELETE,
+            cookie=cookie,
+        )
+        self.flow_mods.increment()
+        self.channel_for(switch).send_to_switch(message)
+        return message
+
     def send_packet_out(
         self,
         switch: OpenFlowSwitch | str,

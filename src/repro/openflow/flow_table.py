@@ -90,6 +90,11 @@ class FlowTable:
     def __init__(self, name: str = "flow-table", capacity: Optional[int] = None) -> None:
         self.name = name
         self.capacity = capacity
+        #: Called with each entry evicted under capacity pressure.  The
+        #: owning switch wires this to its FlowRemoved notifier so the
+        #: controller's path unwinder hears about evictions exactly like
+        #: timeouts (OpenFlow's OFPFF_SEND_FLOW_REM semantics).
+        self.evict_listener: Optional[Callable[[FlowEntry], None]] = None
         self._entries: list[FlowEntry] = []
         self._sequence = 0
         # header-tuple -> best entry from a previous full scan; valid until
@@ -136,17 +141,24 @@ class FlowTable:
         self._same_index[(entry.match, entry.priority)] = entry
         return entry
 
-    def remove(self, match: Match, *, strict: bool = False) -> int:
+    def remove(
+        self, match: Match, *, strict: bool = False, cookie: Optional[str] = None
+    ) -> int:
         """Remove entries matching ``match``.
 
         With ``strict`` only an entry with an identical match is removed;
         otherwise every entry whose match is covered by ``match`` is
-        removed (OpenFlow delete semantics).  Returns the number removed.
+        removed (OpenFlow delete semantics).  A non-``None`` ``cookie``
+        additionally restricts the delete to entries carrying it (the
+        OpenFlow 1.1+ cookie filter the path unwinder uses).  Returns
+        the number removed.
         """
         if strict:
             victims = [e for e in self._entries if e.match == match]
         else:
             victims = [e for e in self._entries if match.covers(e.match)]
+        if cookie is not None:
+            victims = [e for e in victims if e.cookie == cookie]
         if victims:
             self._discard(victims)
         return len(victims)
@@ -183,6 +195,8 @@ class FlowTable:
         victim = min(self._entries, key=lambda e: (e.last_used_at, e.sequence))
         self._discard([victim])
         self.evictions += 1
+        if self.evict_listener is not None:
+            self.evict_listener(victim)
 
     # ------------------------------------------------------------------
     # Lookup and expiry

@@ -7,13 +7,18 @@ punted packets so the controller can later release them with a
 ``packet_out`` or an entry-installing ``flow_mod`` carrying the buffer
 id — exactly the Figure 1 sequence.
 
-Two knobs exist for the security experiments:
+Three knobs exist for the security and resilience experiments:
 
 * ``fail_mode`` — what to do with a table miss when no controller is
   reachable (``"secure"`` drops, ``"open"`` floods).
 * :meth:`mark_compromised` — a compromised switch "lets any traffic pass
   through without regulation" (§5.2); it bypasses the flow table and
   floods every packet.
+* :meth:`fail` — a failed (powered-off) switch drops every packet and
+  ignores every control message, which is what lets the fabric bench
+  prove a mid-path failure fails *closed*: traffic reaching the dead
+  hop goes nowhere, and the surviving hops' entries are torn down by
+  the controller's path unwinder when their idle timeouts fire.
 """
 
 from __future__ import annotations
@@ -60,6 +65,11 @@ class OpenFlowSwitch(Node):
         if fail_mode not in ("secure", "open"):
             raise OpenFlowError(f"unknown fail mode: {fail_mode!r}")
         self.flow_table = FlowTable(name=f"{name}.flow-table", capacity=table_capacity)
+        # Capacity evictions notify the controller like timeouts do, so
+        # path-wide installs can be unwound when one hop is squeezed out.
+        self.flow_table.evict_listener = (
+            lambda entry: self._notify_removed(entry, reason="eviction")
+        )
         self.channel: Optional[ControllerChannel] = None
         #: Every control channel this switch holds, by controller name.
         #: Single-controller deployments have exactly one entry (also
@@ -72,6 +82,7 @@ class OpenFlowSwitch(Node):
         self.fail_mode = fail_mode
         self.trace = trace
         self.compromised = False
+        self.failed = False
         self._buffered: dict[int, tuple[Packet, int]] = {}
         self.punts = Counter(f"{name}.punts")
         self.drops = Counter(f"{name}.drops")
@@ -115,6 +126,10 @@ class OpenFlowSwitch(Node):
 
     def handle_message(self, message: ControlMessage) -> None:
         """Process a controller → switch message."""
+        if self.failed:
+            # A dead switch's control socket is gone; messages addressed
+            # to it (flow mods, path unwind deletes) simply vanish.
+            return
         if isinstance(message, FlowMod):
             self._handle_flow_mod(message)
         elif isinstance(message, PacketOut):
@@ -129,7 +144,13 @@ class OpenFlowSwitch(Node):
             from repro.openflow.messages import FlowModCommand
 
             strict = message.command == FlowModCommand.DELETE_STRICT
-            self.flow_table.remove(message.match, strict=strict)
+            # A cookie on a delete scopes it to that decision's entries
+            # (OpenFlow 1.1+ cookie filter) — how the controller unwinds
+            # one flow's path without touching co-resident entries.
+            self.flow_table.remove(
+                message.match, strict=strict,
+                cookie=message.cookie if message.cookie else None,
+            )
             return
         entry = FlowEntry(
             match=message.match,
@@ -190,6 +211,9 @@ class OpenFlowSwitch(Node):
         service calls this periodically so reclamation does not depend on
         packets arriving.  Returns how many entries were removed.
         """
+        if self.failed:
+            # A dead switch sweeps nothing and notifies nobody.
+            return 0
         expired = self.flow_table.expire(now)
         for entry in expired:
             self._notify_removed(entry)
@@ -202,6 +226,13 @@ class OpenFlowSwitch(Node):
     def receive(self, packet: Packet, in_port: Port) -> None:
         """Forward, drop or punt an arriving packet."""
         super().receive(packet, in_port)
+        if self.failed:
+            # A powered-off switch forwards nothing: traffic sent into a
+            # mid-path failure dies here (fail closed), never reaching
+            # downstream hops whose entries may still be draining.
+            self._record("drop", packet, note="switch failed")
+            self.drops.increment()
+            return
         if self.compromised:
             # §5.2: a compromised switch passes traffic without regulation.
             self._record("forward", packet, note="compromised switch floods")
@@ -275,7 +306,9 @@ class OpenFlowSwitch(Node):
             else:
                 raise OpenFlowError(f"switch {self.name} cannot apply {type(action).__name__}")
 
-    def _notify_removed(self, entry: FlowEntry) -> None:
+    def _notify_removed(self, entry: FlowEntry, *, reason: str = "idle_timeout") -> None:
+        if self.failed:
+            return
         channel = self._owner_channel(entry.cookie)
         if channel is not None:
             channel.send_to_controller(
@@ -283,6 +316,7 @@ class OpenFlowSwitch(Node):
                     switch=self,
                     match=entry.match,
                     cookie=entry.cookie,
+                    reason=reason,
                     packet_count=entry.packet_count,
                     byte_count=entry.byte_count,
                 )
@@ -319,6 +353,26 @@ class OpenFlowSwitch(Node):
     def restore(self) -> None:
         """Undo :meth:`mark_compromised`."""
         self.compromised = False
+
+    def fail(self) -> None:
+        """Power the switch off: every packet is dropped, every control
+        message is ignored, and no expiry is ever notified.
+
+        Unlike :meth:`mark_compromised` (which forwards *everything*),
+        a failed switch forwards *nothing* — the mid-path failure mode
+        the fabric bench gates on.
+        """
+        self.failed = True
+
+    def recover(self) -> None:
+        """Power a failed switch back on.
+
+        The flow table comes back as it was at failure time; entries
+        whose timeouts elapsed meanwhile expire on the next packet or
+        sweep, and the resulting ``FlowRemoved`` messages let the
+        controller unwind any path state still referencing this hop.
+        """
+        self.failed = False
 
     def _record(self, event: str, packet: Packet, note: str = "") -> None:
         if self.trace is not None:

@@ -1,6 +1,9 @@
 """Cluster workloads: decision-loop scale-out and failover churn.
 
-Two drivers for the sharded control plane, both runnable standalone
+The paper's flow-setup experiment measures one controller's decision
+loop (§3.4, Figure 1); these workloads measure what sharding that loop
+buys and what a shard crash costs.  Two drivers for the sharded
+control plane, both runnable standalone
 (``make soak_cluster``) and recorded in ``BENCH_results.json``:
 
 * :class:`ClusterScaleBench` — the scalability claim.  Each controller

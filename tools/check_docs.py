@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Docs rot check: every relative link in the markdown tree must resolve.
+
+Scans ``docs/*.md``, ``README.md``, ``ROADMAP.md`` and ``CHANGES.md``
+for markdown inline links (``[text](target)``) and fails (exit 1) when
+a relative link points at a file that does not exist.  External links
+(``http(s)://``) and pure anchors (``#...``) are skipped; a
+``path#anchor`` link is checked for the path part only.
+
+Run directly or via ``make docs_check``; CI runs it in the docs job so
+documentation cannot drift from the tree it describes.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Markdown inline links: [text](target)
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Files whose links are checked.
+DOC_FILES = ["README.md", "ROADMAP.md", "CHANGES.md"]
+
+
+def iter_doc_files() -> list[Path]:
+    """Return every markdown file the checker covers."""
+    files = [REPO_ROOT / name for name in DOC_FILES if (REPO_ROOT / name).exists()]
+    docs = REPO_ROOT / "docs"
+    if docs.is_dir():
+        files.extend(sorted(docs.glob("*.md")))
+    return files
+
+
+def check_file(path: Path) -> list[str]:
+    """Return a list of broken-link descriptions for one markdown file."""
+    problems = []
+    text = path.read_text(encoding="utf-8")
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        if not resolved.exists():
+            line = text[: match.start()].count("\n") + 1
+            problems.append(
+                f"{path.relative_to(REPO_ROOT)}:{line}: broken link -> {target}"
+            )
+    return problems
+
+
+def main() -> int:
+    files = iter_doc_files()
+    if not (REPO_ROOT / "docs").is_dir():
+        print("FAIL: docs/ directory does not exist")
+        return 1
+    problems: list[str] = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem)
+    checked = len(files)
+    if problems:
+        print(f"docs check FAILED: {len(problems)} broken links in {checked} files")
+        return 1
+    print(f"docs check ok: all relative links resolve across {checked} files")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
