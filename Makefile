@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-experiments soak soak_cluster soak_fabric docs_check
+.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries docs_check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -17,6 +17,9 @@ soak_cluster:
 
 soak_fabric:
 	$(PYTHON) -m repro.workloads.fabric
+
+soak_queries:
+	$(PYTHON) -m repro.workloads.queryload
 
 docs_check:
 	$(PYTHON) tools/check_docs.py

@@ -45,6 +45,10 @@ from repro.workloads.fabric import (  # noqa: E402
 )
 from repro.workloads.generators import FlowGenerator, FlowTemplate  # noqa: E402
 from repro.workloads.paper_configs import figure2_control_files  # noqa: E402
+from repro.workloads.queryload import (  # noqa: E402
+    QUERY_SPEEDUP_FLOOR,
+    QueryLoadBench,
+)
 
 RESULTS_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_results.json")
 
@@ -219,6 +223,15 @@ def bench_fabric(results: dict) -> None:
     results["fabric_scale_bench"] = entry
 
 
+def bench_queryload(results: dict) -> None:
+    """Query engine: hot-server cache speedup + invalidation correctness."""
+    report = QueryLoadBench().run()
+    entry = report.as_dict()
+    # Headline ops/s: cached decided-flows per simulated second.
+    entry["ops_per_sec"] = entry["cached_decided_per_vsec"]
+    results["query_cache_bench"] = entry
+
+
 def main() -> int:
     results: dict = {}
     print("running hot-path benchmarks ...")
@@ -233,6 +246,8 @@ def main() -> int:
     bench_cluster(results)
     print("running fabric path-wide enforcement bench ...")
     bench_fabric(results)
+    print("running query-cache bench ...")
+    bench_queryload(results)
 
     derived = {
         "compiled_speedup_2000_rules": round(
@@ -258,6 +273,10 @@ def main() -> int:
         "fabric_slowdown_vs_single_switch": results["fabric_scale_bench"][
             "slowdown_vs_single_switch"
         ],
+        "query_cache_speedup": results["query_cache_bench"]["speedup"],
+        "query_cache_invalidation_ok": all(
+            results["query_cache_bench"]["invalidation"].values()
+        ),
     }
     payload = {
         "command": "python benchmarks/run_benchmarks.py",
@@ -297,6 +316,15 @@ def main() -> int:
         return 1
     if not results["fabric_scale_bench"]["gates_ok"]:
         print("FAIL: fabric bench gates failed (see fabric_scale_bench.violations)")
+        return 1
+    if derived["query_cache_speedup"] < QUERY_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: query-cache speedup below the "
+            f"{QUERY_SPEEDUP_FLOOR:g}x acceptance floor"
+        )
+        return 1
+    if not results["query_cache_bench"]["gates_ok"]:
+        print("FAIL: query-cache gates failed (see query_cache_bench.violations)")
         return 1
     return 0
 

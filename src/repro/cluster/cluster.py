@@ -320,6 +320,35 @@ class ControllerCluster:
         records.sort(key=lambda record: record.time)
         return records
 
+    def query_engine_summary(self) -> dict[str, object]:
+        """Aggregate every shard's query-engine counters.
+
+        Each shard runs its **own** :class:`~repro.identpp.engine.QueryEngine`
+        (caches are per-replica: a shard only answers punts for flows it
+        owns, so sharing entries would buy nothing and couple failure
+        domains).  The aggregate view is what a query-heavy soak gates
+        on: cluster-wide hit/coalesce/negative-hit rates.
+        """
+        engines = [c.query_engine for c in self.replicas.values()]
+        totals = {
+            "entries": sum(len(e) for e in engines),
+            "lookups": sum(e.lookups() for e in engines),
+            "hits": sum(e.hits for e in engines),
+            "misses": sum(e.misses for e in engines),
+            "coalesced": sum(e.coalesced for e in engines),
+            "negative_hits": sum(e.negative_hits for e in engines),
+            "invalidation_events": sum(e.invalidation_events for e in engines),
+        }
+        lookups = totals["lookups"]
+
+        def rate(count: int) -> float:
+            return count / lookups if lookups else 0.0
+
+        totals["hit_rate"] = rate(totals["hits"])
+        totals["coalesce_rate"] = rate(totals["coalesced"])
+        totals["negative_hit_rate"] = rate(totals["negative_hits"])
+        return totals
+
     def summary(self) -> dict[str, object]:
         """Return the cluster's headline numbers plus per-shard summaries."""
         per_shard = {name: c.summary() for name, c in self.replicas.items()}
@@ -335,6 +364,7 @@ class ControllerCluster:
                 c.path_install_count() for c in self.replicas.values()
             ),
             "path_unwinds": sum(c.path_unwinds for c in self.replicas.values()),
+            "query_engine": self.query_engine_summary(),
             "shard_map": self.shard_map.stats(),
             "monitor": self.monitor.stats(),
             "coordinator": self.coordinator.stats(),

@@ -45,6 +45,7 @@ from repro.core.interception import InterceptionPolicy
 from repro.core.lifecycle import LifecycleService
 from repro.core.policy_engine import PolicyDecision, PolicyEngine
 from repro.identpp.client import QueryClient, QueryInterceptor, QueryOutcome
+from repro.identpp.engine import QueryEngine
 from repro.identpp.flowspec import FlowSpec
 from repro.identpp.wire import DEFAULT_QUERY_KEYS, IDENT_PP_PORT, IdentQuery, IdentResponse
 from repro.netsim.events import Event
@@ -99,6 +100,16 @@ class ControllerConfig:
       instead of overlapping.  This is what makes one controller a
       measurable scalability chokepoint (and sharding a measurable win);
       off by default so existing scenario timelines are unchanged.
+
+    The query-engine knobs put a cache between the controller and the
+    end-host daemons (§2 step 3 is the dominant flow-setup cost):
+
+    * ``query_cache_ttl`` — lifetime of cached endpoint answers.  ``0``
+      (the default) disables the engine entirely: every punt issues
+      fresh ident++ queries, exactly the pre-engine behaviour.
+    * ``query_negative_ttl`` — lifetime of cached *timeouts* (legacy
+      hosts without a daemon, unreachable hosts).  ``None`` mirrors
+      ``query_cache_ttl``.
     """
 
     query_keys: tuple[str, ...] = tuple(DEFAULT_QUERY_KEYS)
@@ -115,6 +126,8 @@ class ControllerConfig:
     cache_capacity: Optional[int] = None
     state_timeout: float = 300.0
     serialize_decisions: bool = False
+    query_cache_ttl: float = 0.0
+    query_negative_ttl: Optional[float] = None
 
 
 class IdentPPController(Controller):
@@ -133,6 +146,12 @@ class IdentPPController(Controller):
         self.policy = policy
         self.config = config if config is not None else ControllerConfig()
         self.query_client = QueryClient(topology)
+        self.query_engine = QueryEngine(
+            self.query_client,
+            ttl=self.config.query_cache_ttl,
+            negative_ttl=self.config.query_negative_ttl,
+            name=f"{name}.query-engine",
+        )
         self.cache = DecisionCache(
             ttl=self.config.decision_ttl, capacity=self.config.cache_capacity
         )
@@ -170,6 +189,11 @@ class IdentPPController(Controller):
         self.lifecycle.register(
             "decisions", self.cache.expire, self.cache.expirable_count,
             self.cache.next_expiry,
+        )
+        # Cached endpoint answers age out with the other per-flow state.
+        self.lifecycle.register(
+            "queries", self.query_engine.expire, self.query_engine.expirable_count,
+            self.query_engine.next_expiry,
         )
         # Resolve .state_table per call: DecisionCache.clear() rebinds it,
         # and a captured bound method would keep sweeping the orphan.
@@ -325,14 +349,22 @@ class IdentPPController(Controller):
             self._complete_decision(flow, outcomes, arrival)
 
     def _query_endpoints(self, flow: FlowSpec, switch: OpenFlowSwitch) -> list[QueryOutcome]:
-        """Issue the ident++ queries for a flow (both ends, or source only)."""
+        """Issue the ident++ queries for a flow (both ends, or source only).
+
+        Queries go through the :class:`QueryEngine`, so with a non-zero
+        ``query_cache_ttl`` a hot endpoint's answer is fetched once and
+        shared: repeat punts hit the cache, concurrent punts coalesce
+        onto the one outstanding query, and daemon-less hosts cost one
+        timeout per TTL.  With the default TTL of ``0`` the engine is a
+        pass-through and every punt queries fresh.
+        """
         interceptors = tuple(self.peer_interceptors)
         if self.config.query_both_ends:
-            src_outcome, dst_outcome = self.query_client.query_both_ends(
+            src_outcome, dst_outcome = self.query_engine.query_both_ends(
                 flow, from_node=switch, keys=self.config.query_keys, interceptors=interceptors
             )
             return [src_outcome, dst_outcome]
-        src_outcome = self.query_client.query(
+        src_outcome = self.query_engine.query(
             flow, "src", from_node=switch, keys=self.config.query_keys, interceptors=interceptors
         )
         return [src_outcome]
@@ -971,6 +1003,7 @@ class IdentPPController(Controller):
                    if k not in ("entries", "hit_rate")},
             },
             "state_table": self.cache.state_table.stats(),
+            "query_engine": self.query_engine.stats(),
             "lifecycle": self.lifecycle.stats(),
             "pending_flows": len(self._pending),
             "pending_expired": self.pending_expired,

@@ -242,9 +242,17 @@ class EndHost(Node):
         return {packet.five_tuple() for packet in self.delivered}
 
     def mark_compromised(self, *, superuser: bool = False) -> None:
-        """Mark the host as attacker-controlled (see :mod:`repro.security`)."""
+        """Mark the host as attacker-controlled (see :mod:`repro.security`).
+
+        Controller-side endpoint caches must drop this host's answers:
+        everything its daemon said before the compromise is now
+        untrusted, and everything it says afterwards may be spoofed.
+        """
         self.compromised = True
         self.compromised_as_superuser = superuser
+        daemon = getattr(self, "identpp_daemon", None)
+        if daemon is not None:
+            daemon.notify_invalidation("host-compromised")
 
     def __repr__(self) -> str:
         return f"EndHost({self.name!r}, ip={self.ip})"

@@ -13,7 +13,7 @@ connection").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from repro.exceptions import SocketError
 from repro.netsim.addresses import IPv4Address
@@ -104,6 +104,22 @@ class SocketTable:
         self.host_ip = IPv4Address(host_ip)
         self._sockets: list[Socket] = []
         self._next_ephemeral = EPHEMERAL_PORT_BASE
+        # Which flow a 5-tuple resolves to depends on the socket set; a
+        # mutation means previously computed owners may be stale.  The
+        # epoch is cheap to compare, the listeners let the ident++
+        # daemon push invalidations to controller-side endpoint caches.
+        self.epoch = 0
+        self._change_listeners: list[Callable[[], None]] = []
+
+    def add_change_listener(self, listener: Callable[[], None]) -> None:
+        """Register a callback fired after every socket open/close."""
+        if listener not in self._change_listeners:
+            self._change_listeners.append(listener)
+
+    def _changed(self) -> None:
+        self.epoch += 1
+        for listener in list(self._change_listeners):
+            listener()
 
     # ------------------------------------------------------------------
     # Socket creation
@@ -126,6 +142,7 @@ class SocketTable:
             raise SocketError(f"port {port}/{proto} already in use")
         socket = Socket(proto=proto, local_ip=self.host_ip, local_port=port, process=process)
         self._sockets.append(socket)
+        self._changed()
         return socket
 
     def connect(
@@ -153,6 +170,7 @@ class SocketTable:
             remote_port=remote_port,
         )
         self._sockets.append(socket)
+        self._changed()
         return socket
 
     def close(self, socket: Socket) -> None:
@@ -161,6 +179,7 @@ class SocketTable:
             self._sockets.remove(socket)
         except ValueError as exc:
             raise SocketError(f"socket not in table: {socket}") from exc
+        self._changed()
 
     def _allocate_ephemeral_port(self) -> int:
         port = self._next_ephemeral

@@ -18,11 +18,15 @@ controller:
 * :mod:`repro.identpp.daemon` — the end-host daemon, including the
   run-time key/value channel applications use,
 * :mod:`repro.identpp.client` — the query client controllers use, with
-  hooks for on-path interception.
+  hooks for on-path interception,
+* :mod:`repro.identpp.engine` — the caching/coalescing query engine a
+  controller puts in front of its client (endpoint response cache,
+  in-flight coalescing, negative cache for daemon-less hosts).
 """
 
 from repro.identpp.client import QueryClient, QueryOutcome
 from repro.identpp.daemon import IdentPPDaemon, RuntimeKeyRegistry
+from repro.identpp.engine import QueryEngine
 from repro.identpp.daemon_config import AppConfig, DaemonConfig, parse_daemon_config
 from repro.identpp.flowspec import FlowSpec
 from repro.identpp.keyvalue import KeyValueSection, ResponseDocument
@@ -36,6 +40,7 @@ from repro.identpp.wire import (
 
 __all__ = [
     "QueryClient",
+    "QueryEngine",
     "QueryOutcome",
     "IdentPPDaemon",
     "RuntimeKeyRegistry",

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Protocol, Sequence
 
+from repro.exceptions import TopologyError
 from repro.identpp.flowspec import FlowSpec
 from repro.identpp.keyvalue import ResponseDocument
 from repro.identpp.wire import DEFAULT_QUERY_KEYS, IdentQuery, IdentResponse, ROLE_DESTINATION, ROLE_SOURCE
@@ -46,6 +47,24 @@ class QueryInterceptor(Protocol):
         """Append additional sections to a response passing through."""
 
 
+def per_role_interceptors(
+    interceptors: Sequence[QueryInterceptor],
+) -> tuple[tuple[QueryInterceptor, ...], tuple[QueryInterceptor, ...]]:
+    """Split one on-path interceptor list into per-role query orderings.
+
+    :meth:`QueryClient.query` requires its interceptors "ordered from
+    the querier toward the target host".  A caller querying *both* ends
+    of a flow sits between them, so a single sequence cannot be correct
+    for both queries: walking toward the destination traverses the
+    on-path controllers in the given order, while walking toward the
+    source traverses the very same controllers in **reverse**.  The
+    input is ordered querier → destination; the returned pair is
+    ``(toward_source, toward_destination)``.
+    """
+    toward_destination = tuple(interceptors)
+    return tuple(reversed(toward_destination)), toward_destination
+
+
 @dataclass
 class QueryOutcome:
     """The result of one ident++ query."""
@@ -56,6 +75,17 @@ class QueryOutcome:
     answered_by: str = ""
     intercepted: bool = False
     timed_out: bool = False
+    #: ``True`` when the target host exists but no path to it does — the
+    #: query could never have been delivered.  Such outcomes are also
+    #: ``timed_out`` (a partitioned host looks exactly like a silent one
+    #: to the querier), the flag only records *why* for diagnostics.
+    unreachable: bool = False
+    #: Set by the :class:`~repro.identpp.engine.QueryEngine` when the
+    #: response was served from its endpoint cache (no daemon contact).
+    cached: bool = False
+    #: Set by the engine when this query shared another punt's
+    #: still-outstanding query instead of issuing its own.
+    coalesced: bool = False
     augmented_by: list[str] = field(default_factory=list)
 
     @property
@@ -86,8 +116,8 @@ class QueryClient:
         self.queries_sent = Counter("query_client.queries_sent")
         self.queries_intercepted = Counter("query_client.queries_intercepted")
         self.queries_timed_out = Counter("query_client.queries_timed_out")
-        # (link count, mean link latency) — recomputed only when the
-        # topology grows/shrinks, not on every intercepted query.
+        # (topology mutation epoch, mean link latency) — recomputed only
+        # when connectivity changes, not on every intercepted query.
         self._mean_link_latency: Optional[tuple[int, float]] = None
 
     # ------------------------------------------------------------------
@@ -144,8 +174,22 @@ class QueryClient:
             return QueryOutcome(
                 query=query, response=None, latency=self.timeout, timed_out=True
             )
-        response, processing = daemon.query_local(query)
-        latency = self._round_trip(from_node, host) + processing
+        round_trip = self._round_trip(from_node, host)
+        if round_trip is None:
+            # No path from the querying switch to the host: the query is
+            # never delivered, so the daemon is never asked and the
+            # outcome is a genuine timeout — not a healthy answer that
+            # happens to cost ``self.timeout``.
+            self.queries_timed_out.increment()
+            return QueryOutcome(
+                query=query,
+                response=None,
+                latency=self.timeout,
+                timed_out=True,
+                unreachable=True,
+            )
+        response, processing = daemon.query_local(query, now=self.topology.sim.now)
+        latency = round_trip + processing
 
         # Responses are augmented on the way back, nearest-the-host first.
         augmented: list[str] = []
@@ -173,12 +217,21 @@ class QueryClient:
         The two queries are issued in parallel in a real deployment, so
         the caller should charge ``max`` of the two latencies, not the
         sum; :meth:`combined_latency` does that.
+
+        ``interceptors`` are given ordered from the querier toward the
+        flow's **destination**.  :meth:`query`'s contract wants them
+        ordered toward the *target* of each query, and the on-path order
+        toward the source is the reverse of the order toward the
+        destination — so the source-side query walks them reversed (see
+        :func:`per_role_interceptors`).
         """
+        toward_source, toward_destination = per_role_interceptors(interceptors)
         src_outcome = self.query(
-            flow, ROLE_SOURCE, from_node=from_node, keys=keys, interceptors=interceptors
+            flow, ROLE_SOURCE, from_node=from_node, keys=keys, interceptors=toward_source
         )
         dst_outcome = self.query(
-            flow, ROLE_DESTINATION, from_node=from_node, keys=keys, interceptors=interceptors
+            flow, ROLE_DESTINATION, from_node=from_node, keys=keys,
+            interceptors=toward_destination,
         )
         return src_outcome, dst_outcome
 
@@ -191,27 +244,37 @@ class QueryClient:
     # Latency accounting
     # ------------------------------------------------------------------
 
-    def _round_trip(self, from_node: Optional[Node], host: Node) -> float:
+    def _round_trip(self, from_node: Optional[Node], host: Node) -> Optional[float]:
+        """Return the query round trip from ``from_node`` to ``host``.
+
+        ``None`` means the host is unreachable (no path): the caller
+        must treat the query as timed out, not as answered.  Only
+        :class:`~repro.exceptions.TopologyError` signals that — any
+        other exception is a real bug and propagates.
+        """
         if from_node is None:
             return 0.0
         try:
             one_way = self.topology.path_latency(from_node, host)
-        except Exception:
-            return self.timeout
+        except TopologyError:
+            return None
         return 2.0 * one_way
 
     def _interceptor_latency(self, from_node: Optional[Node]) -> float:
         # An interceptor sits on the path; charge a single hop either way
         # as an approximation of "closer than the end-host".  The mean is
-        # cached against the O(1) link count so a punt-heavy run neither
-        # copies the link list nor re-sums latencies per intercepted query.
+        # cached against the topology's mutation epoch so a punt-heavy
+        # run neither copies the link list nor re-sums latencies per
+        # intercepted query, while remove-then-add churn (which leaves
+        # the link *count* unchanged) still recomputes it.
         if from_node is None:
             return 0.0
-        count = self.topology.link_count()
+        epoch = self.topology.mutation_epoch
         cached = self._mean_link_latency
-        if cached is None or cached[0] != count:
+        if cached is None or cached[0] != epoch:
             links = self.topology.links()
+            count = len(links)
             mean = sum(link.latency for link in links) / count if count else 0.0
-            cached = (count, mean)
+            cached = (epoch, mean)
             self._mean_link_latency = cached
         return 2.0 * cached[1]

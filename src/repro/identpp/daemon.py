@@ -25,7 +25,7 @@ wire format requires.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.exceptions import QueryError
 from repro.hosts.endhost import EndHost
@@ -61,14 +61,25 @@ class RuntimeKeyRegistry:
     def __init__(self) -> None:
         self._by_flow: dict[FlowSpec, dict[str, str]] = {}
         self._by_pid: dict[int, dict[str, str]] = {}
+        #: Called with a reason string whenever published pairs change.
+        #: The owning daemon wires this to its cache-invalidation
+        #: listeners so controller-side endpoint caches drop answers
+        #: assembled before the publish.
+        self.on_publish: Optional[Callable[[str], None]] = None
 
     def publish_for_flow(self, flow: FlowSpec, pairs: dict[str, str]) -> None:
         """Publish pairs that apply to one specific flow."""
         self._by_flow.setdefault(flow, {}).update({str(k): str(v) for k, v in pairs.items()})
+        self._published()
 
     def publish_for_process(self, process: Process, pairs: dict[str, str]) -> None:
         """Publish pairs that apply to every flow of one process."""
         self._by_pid.setdefault(process.pid, {}).update({str(k): str(v) for k, v in pairs.items()})
+        self._published()
+
+    def _published(self) -> None:
+        if self.on_publish is not None:
+            self.on_publish("runtime-publish")
 
     def pairs_for(self, flow: FlowSpec, process: Optional[Process]) -> dict[str, str]:
         """Return the merged run-time pairs for a flow (flow-specific wins)."""
@@ -79,10 +90,15 @@ class RuntimeKeyRegistry:
         merged.update(self._by_flow.get(flow, {}))
         return merged
 
+    def has_flow_pairs(self, flow: FlowSpec) -> bool:
+        """Return whether any pairs were published for this *specific* flow."""
+        return bool(self._by_flow.get(flow))
+
     def clear(self) -> None:
         """Forget all published pairs."""
         self._by_flow.clear()
         self._by_pid.clear()
+        self._published()
 
 
 class IdentPPDaemon:
@@ -94,12 +110,21 @@ class IdentPPDaemon:
         *,
         processing_delay: float = DEFAULT_PROCESSING_DELAY,
         host_facts: Optional[dict[str, str]] = None,
+        serialize: bool = False,
     ) -> None:
         self.host = host
         self.processing_delay = processing_delay
+        #: §3.5's "simple userspace ident++ daemon" is a serial process:
+        #: with ``serialize`` on, each answer occupies the daemon for
+        #: ``processing_delay``, so a flash crowd's queries queue behind
+        #: each other and a popular server's daemon becomes a measurable
+        #: bottleneck.  Off by default so scenario timelines are stable.
+        self.serialize = serialize
+        self._busy_until = 0.0
         self.system_config = DaemonConfig()
         self.user_config = DaemonConfig()
         self.runtime = RuntimeKeyRegistry()
+        self.runtime.on_publish = self.notify_invalidation
         #: Host-level facts reported on every response (OS name, patch
         #: level, ...).  Figure 8's policy checks ``os-patch``.
         self.host_facts: dict[str, str] = dict(host_facts or {})
@@ -109,10 +134,16 @@ class IdentPPDaemon:
         self.spoofed_pairs: Optional[dict[str, str]] = None
         self.queries_answered = Counter(f"{host.name}.identpp.queries_answered")
         self.queries_failed = Counter(f"{host.name}.identpp.queries_failed")
+        # Controller-side endpoint caches (QueryEngine) register here to
+        # hear about anything that changes future answers.
+        self._invalidation_listeners: list[Callable[[str], None]] = []
         # Register on TCP 783 so queries arriving over the network reach us.
         host.register_service(IDENT_PP_PORT, self._service_handler)
         # Make the daemon discoverable by the query client / controllers.
         setattr(host, "identpp_daemon", self)
+        # A socket gaining or losing an owner changes which process a
+        # 5-tuple resolves to, which changes the answer.
+        host.sockets.add_change_listener(self._on_socket_change)
 
     # ------------------------------------------------------------------
     # Configuration
@@ -121,18 +152,46 @@ class IdentPPDaemon:
     def load_system_config(self, text: str, source: str = "system") -> None:
         """Load an administrator-controlled configuration file."""
         self.system_config.load(text, source=source)
+        self.notify_invalidation("config-load")
 
     def load_user_config(self, text: str, source: str = "user") -> None:
         """Load a user-controlled configuration file."""
         self.user_config.load(text, source=source)
+        self.notify_invalidation("config-load")
 
     def set_host_fact(self, key: str, value: str) -> None:
         """Set a host-level fact (e.g. ``os-patch: MS08-067``)."""
         self.host_facts[str(key)] = str(value)
+        self.notify_invalidation("host-fact")
 
     def spoof_responses(self, pairs: Optional[dict[str, str]]) -> None:
         """Make the daemon lie (attacker-controlled host).  ``None`` restores honesty."""
         self.spoofed_pairs = dict(pairs) if pairs is not None else None
+        self.notify_invalidation("spoofed")
+
+    # ------------------------------------------------------------------
+    # Cache-invalidation fan-out
+    # ------------------------------------------------------------------
+
+    def add_invalidation_listener(self, listener: Callable[[str], None]) -> None:
+        """Register a callback fired whenever future answers may change.
+
+        Fired on runtime-key publishes, configuration loads, host-fact
+        changes, spoofing toggles, host compromise and socket-table
+        owner changes.  The controller-side
+        :class:`~repro.identpp.engine.QueryEngine` subscribes here the
+        first time it caches one of this daemon's answers.
+        """
+        if listener not in self._invalidation_listeners:
+            self._invalidation_listeners.append(listener)
+
+    def notify_invalidation(self, reason: str) -> None:
+        """Tell every subscribed endpoint cache to drop this host's answers."""
+        for listener in list(self._invalidation_listeners):
+            listener(reason)
+
+    def _on_socket_change(self) -> None:
+        self.notify_invalidation("socket-table")
 
     # ------------------------------------------------------------------
     # Answering queries
@@ -175,6 +234,32 @@ class IdentPPDaemon:
             )
         self.queries_answered.increment()
         return IdentResponse(flow=flow, document=document, responder=self.host.name)
+
+    def answer_is_shareable(self, query: IdentQuery) -> bool:
+        """Return whether the answer depends only on (host, role, proto, port).
+
+        A controller-side endpoint cache may serve one flow's answer to
+        *other* flows hitting the same host/role/port only when nothing
+        in the answer is specific to the queried flow.  That fails in
+        two cases: pairs were published for this exact flow
+        (:meth:`RuntimeKeyRegistry.publish_for_flow`), or the 5-tuple
+        resolves to a *connected* socket — a per-connection worker
+        process whose identity must not be attributed to other flows.
+        A listening socket's answer (the hot-server case) is shared
+        safely; so is a spoofed answer (the attacker lies to everyone
+        alike).
+        """
+        if self.spoofed_pairs is not None:
+            return True
+        flow = query.flow
+        if self.runtime.has_flow_pairs(flow):
+            return False
+        as_destination = query.target_role == ROLE_DESTINATION
+        socket = self.host.sockets.lookup_flow(
+            flow.src_ip, flow.dst_ip, flow.proto, flow.src_port, flow.dst_port,
+            as_destination=as_destination,
+        )
+        return socket is None or socket.is_listening
 
     def _base_section(self, process: Optional[Process]) -> KeyValueSection:
         """Build the OS-derived section (user, group, application identity, host facts)."""
@@ -222,13 +307,23 @@ class IdentPPDaemon:
         else:
             host.transmit(reply)
 
-    def query_local(self, query: IdentQuery) -> tuple[IdentResponse, float]:
+    def query_local(
+        self, query: IdentQuery, *, now: Optional[float] = None
+    ) -> tuple[IdentResponse, float]:
         """Answer a query without going through the network.
 
         Returns ``(response, processing delay)``; the query client adds
-        network round-trip time on top.
+        network round-trip time on top.  With :attr:`serialize` on and a
+        clock reading supplied, the answer occupies the daemon's single
+        thread — concurrent queries queue, and the returned delay is the
+        caller's *wait-plus-service* time, not just the service time.
         """
-        return self.answer(query), self.processing_delay
+        response = self.answer(query)
+        if not self.serialize or now is None:
+            return response, self.processing_delay
+        start = max(now, self._busy_until)
+        self._busy_until = start + self.processing_delay
+        return response, self._busy_until - now
 
     def __repr__(self) -> str:
         return f"IdentPPDaemon(host={self.host.name!r})"

@@ -1,0 +1,473 @@
+"""The query engine: caching + coalescing layer over :class:`QueryClient`.
+
+The paper's flow-setup cost is dominated by step 3 of §2: the
+controller "requests additional information from both the source and
+the destination end-hosts".  Issued naively that is two fresh
+synchronous round-trips per punt, so a popular server's daemon is
+re-interrogated once per flow and a daemon-less legacy host (§4,
+"Incremental Benefit") burns a full query timeout on every connection
+attempt.  :class:`QueryEngine` sits between the controller and its
+:class:`~repro.identpp.client.QueryClient` and removes that redundancy
+three ways:
+
+* an **endpoint response cache** keyed on *(host, role, key-set)* plus
+  the flow's proto and target-side port (the part of the 5-tuple the
+  answering socket is matched on), with a TTL and explicit
+  invalidation — a daemon publishing new runtime keys, loading
+  configuration, being spoofed, its host being compromised, or its
+  host's socket table changing owners all push an invalidation through
+  :meth:`IdentPPDaemon.add_invalidation_listener`, so stale answers
+  never outlive the event that staled them;
+* **in-flight coalescing** — a cached entry whose answer has not
+  "arrived" yet (its ``ready_at`` is still in the simulated future)
+  represents an outstanding query; concurrent punts needing the same
+  endpoint's answer share it, each charged only the *remaining* wait,
+  instead of issuing N identical round-trips;
+* a **negative cache** — a query that timed out (no daemon, or no path
+  to the host) is remembered for ``negative_ttl``, so a legacy host
+  costs one timeout per TTL instead of one per flow.  Negative entries
+  self-heal: a daemon appearing on the host, or any topology mutation
+  (for unreachable hosts), invalidates them on the next lookup.
+
+Two correctness guards bound what the cache may share:
+
+* **Interception is per-query.**  A query carrying on-path
+  interceptors bypasses the cache entirely: an interceptor's decision
+  to answer, decline or augment is made per flow (§3.4), so serving a
+  warm entry would silently disable the interception mechanism and
+  replay another flow's augmented sections.
+* **Flow-scoped answers stay flow-scoped.**  Source-side answers, and
+  any destination answer the daemon reports as not shareable
+  (:meth:`IdentPPDaemon.answer_is_shareable`: flow-specific runtime
+  pairs, or a connected per-connection worker socket), are served only
+  to re-punts of the *same* flow — one flow's identity is never
+  attributed to another.  Only a listener's flow-independent answer
+  (the hot-server case) is shared across flows.
+
+A TTL of ``0`` disables the engine entirely (every call passes straight
+through to the client), which is the default wiring so existing
+scenario timelines are unchanged; benchmarks and production configs
+opt in via ``ControllerConfig.query_cache_ttl``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.identpp.client import (
+    QueryClient,
+    QueryInterceptor,
+    QueryOutcome,
+    per_role_interceptors,
+)
+from repro.identpp.flowspec import FlowSpec
+from repro.identpp.wire import IdentQuery, ROLE_DESTINATION, ROLE_SOURCE
+
+#: Default TTL benchmarks/workloads use when they enable the engine.
+DEFAULT_QUERY_CACHE_TTL = 30.0
+
+
+@dataclass
+class CacheEntry:
+    """One cached endpoint answer (positive or negative).
+
+    ``ready_at`` is when the underlying query completes: before it the
+    entry is *in flight* (lookups coalesce onto it, charged the
+    remaining wait), after it the entry is a plain cache hit until
+    ``expires_at``.
+    """
+
+    key: tuple
+    host_ip: str
+    outcome: QueryOutcome
+    ready_at: float
+    expires_at: float
+    negative: bool = False
+    #: Flow-scoped entries answer only re-punts of the exact flow that
+    #: filled them (source-side answers, and destination answers the
+    #: daemon marked not shareable) — a different flow must query fresh.
+    flow_scoped: bool = False
+    #: Negative entries for *unreachable* hosts are keyed on the
+    #: topology epoch: any connectivity change may have restored a path,
+    #: so the entry must be re-proven.
+    unreachable: bool = False
+    topology_epoch: int = -1
+    hits: int = 0
+
+
+class QueryEngine:
+    """Caching, coalescing front-end for one controller's ident++ queries."""
+
+    def __init__(
+        self,
+        client: QueryClient,
+        *,
+        ttl: float = 0.0,
+        negative_ttl: Optional[float] = None,
+        name: str = "query-engine",
+    ) -> None:
+        self.client = client
+        self.name = name
+        self.ttl = ttl
+        #: Negative answers default to the positive TTL; a deployment
+        #: rolling daemons out incrementally (§4) may want it shorter so
+        #: newly daemon'd hosts are noticed faster.
+        self.negative_ttl = negative_ttl if negative_ttl is not None else ttl
+        self._entries: dict[tuple, CacheEntry] = {}
+        # Lazily-invalidated min-heap of (expires_at, seq, key) so TTL
+        # sweeps and deadline queries cost O(log n), not a full scan
+        # (same pattern as core.lifecycle.ExpiryHeap; the entries dict
+        # stays the source of truth, stale heap records are skipped).
+        self._deadlines: list[tuple[float, int, tuple]] = []
+        self._seq = itertools.count()
+        # Daemons already carrying one of our invalidation listeners,
+        # keyed by host IP with the daemon held strongly: a *replaced*
+        # daemon on the same host compares non-identical and gets a
+        # fresh subscription (an id()-based set could alias after GC).
+        self._subscribed: dict[str, object] = {}
+        self.hits = 0
+        self.misses = 0
+        self.coalesced = 0
+        self.negative_hits = 0
+        self.interceptor_bypasses = 0
+        self.invalidation_events = 0
+        self.invalidated_entries = 0
+        self.expirations = 0
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        """Return whether the engine does anything beyond pass-through."""
+        return self.ttl > 0.0 or self.negative_ttl > 0.0
+
+    def query(
+        self,
+        flow: FlowSpec,
+        role: str,
+        *,
+        from_node=None,
+        keys: Optional[Sequence[str]] = None,
+        interceptors: Sequence[QueryInterceptor] = (),
+        now: Optional[float] = None,
+    ) -> QueryOutcome:
+        """Answer one endpoint query, from cache when possible.
+
+        Same signature as :meth:`QueryClient.query` plus an optional
+        explicit clock reading (defaults to the topology's simulator).
+        Queries carrying interceptors bypass the cache: interception is
+        a per-query decision (§3.4) a warm entry must not pre-empt.
+        """
+        if not self.enabled:
+            return self.client.query(
+                flow, role, from_node=from_node, keys=keys, interceptors=interceptors
+            )
+        if interceptors:
+            self.interceptor_bypasses += 1
+            return self.client.query(
+                flow, role, from_node=from_node, keys=keys, interceptors=interceptors
+            )
+        now = self._now(now)
+        key = self._key(flow, role, keys)
+        entry = self._entries.get(key)
+        if entry is not None and not self._valid(entry, now):
+            del self._entries[key]
+            self.expirations += 1
+            entry = None
+        if entry is not None and entry.flow_scoped and entry.outcome.query.flow != flow:
+            # Another flow's flow-scoped answer: this flow must query
+            # fresh (the entry stays valid for its own flow's re-punts,
+            # though a refill under the same key replaces it).
+            entry = None
+        if entry is not None:
+            return self._serve(entry, flow, role, keys, now)
+        self.misses += 1
+        outcome = self.client.query(
+            flow, role, from_node=from_node, keys=keys, interceptors=interceptors
+        )
+        self._fill(key, outcome, now)
+        return outcome
+
+    def query_both_ends(
+        self,
+        flow: FlowSpec,
+        *,
+        from_node=None,
+        keys: Optional[Sequence[str]] = None,
+        interceptors: Sequence[QueryInterceptor] = (),
+        now: Optional[float] = None,
+    ) -> tuple[QueryOutcome, QueryOutcome]:
+        """Query both ends of ``flow`` through the cache (§2 step 3).
+
+        Mirrors :meth:`QueryClient.query_both_ends`, including its
+        per-role interceptor ordering: ``interceptors`` are given
+        querier → destination, and the source-side query walks them
+        reversed.
+        """
+        toward_source, toward_destination = per_role_interceptors(interceptors)
+        src_outcome = self.query(
+            flow, ROLE_SOURCE, from_node=from_node, keys=keys,
+            interceptors=toward_source, now=now,
+        )
+        dst_outcome = self.query(
+            flow, ROLE_DESTINATION, from_node=from_node, keys=keys,
+            interceptors=toward_destination, now=now,
+        )
+        return src_outcome, dst_outcome
+
+    # ------------------------------------------------------------------
+    # Cache mechanics
+    # ------------------------------------------------------------------
+
+    def _now(self, now: Optional[float]) -> float:
+        if now is not None:
+            return now
+        sim = self.client.topology.sim
+        return sim.now if sim is not None else 0.0
+
+    def _key(self, flow: FlowSpec, role: str, keys: Optional[Sequence[str]]) -> tuple:
+        """Return the cache key: (host, role, key-set) + target proto/port.
+
+        The proto and target-side port are part of the key because they
+        select the answering socket: every client hitting
+        ``server:80/tcp`` shares the listener's answer (the hot-server
+        win), while ``server:443`` is a different listener and a
+        different entry.  On the source side the target port is the
+        flow's ephemeral source port, which makes source entries
+        effectively per-flow — a source answer names the one process
+        that opened the connection and must not leak across flows.
+        """
+        key_hint = tuple(keys) if keys is not None else self.client.default_keys
+        target_ip = flow.src_ip if role == ROLE_SOURCE else flow.dst_ip
+        target_port = flow.src_port if role == ROLE_SOURCE else flow.dst_port
+        return (str(target_ip), role, key_hint, flow.proto, target_port)
+
+    def _valid(self, entry: CacheEntry, now: float) -> bool:
+        if now >= entry.expires_at:
+            return False
+        if entry.negative:
+            if entry.unreachable:
+                # Any topology change may have restored the path.
+                return entry.topology_epoch == self.client.topology.mutation_epoch
+            # A daemon deployed mid-TTL must be noticed immediately, not
+            # after the negative entry ages out (§4 incremental benefit).
+            host = self.client.topology.node_for_ip(entry.host_ip)
+            if getattr(host, "identpp_daemon", None) is not None:
+                return False
+        return True
+
+    def _serve(
+        self,
+        entry: CacheEntry,
+        flow: FlowSpec,
+        role: str,
+        keys: Optional[Sequence[str]],
+        now: float,
+    ) -> QueryOutcome:
+        """Build the outcome a cached (or in-flight) entry answers with."""
+        entry.hits += 1
+        query = IdentQuery(
+            flow=flow,
+            target_role=role,
+            keys=tuple(keys) if keys is not None else self.client.default_keys,
+        )
+        template = entry.outcome
+        if entry.ready_at > now:
+            # The underlying query is still outstanding: coalesce onto
+            # it.  This punt waits only for the remainder, and the one
+            # real round-trip serves everyone.
+            self.coalesced += 1
+            return QueryOutcome(
+                query=query,
+                response=template.response,
+                latency=entry.ready_at - now,
+                answered_by=template.answered_by,
+                timed_out=template.timed_out,
+                unreachable=template.unreachable,
+                coalesced=True,
+                augmented_by=list(template.augmented_by),
+            )
+        if entry.negative:
+            self.negative_hits += 1
+            return QueryOutcome(
+                query=query,
+                response=None,
+                latency=0.0,
+                timed_out=True,
+                unreachable=template.unreachable,
+                cached=True,
+            )
+        self.hits += 1
+        return QueryOutcome(
+            query=query,
+            response=template.response,
+            latency=0.0,
+            answered_by=template.answered_by,
+            cached=True,
+            augmented_by=list(template.augmented_by),
+        )
+
+    def _fill(self, key: tuple, outcome: QueryOutcome, now: float) -> None:
+        """Remember a fresh outcome (and subscribe to its invalidation)."""
+        if outcome.intercepted:
+            return
+        host_ip = key[0]
+        ready_at = now + outcome.latency
+        if outcome.timed_out:
+            if self.negative_ttl <= 0.0:
+                return
+            expires_at = ready_at + self.negative_ttl
+            self._entries[key] = CacheEntry(
+                key=key,
+                host_ip=host_ip,
+                outcome=outcome,
+                ready_at=ready_at,
+                expires_at=expires_at,
+                negative=True,
+                unreachable=outcome.unreachable,
+                topology_epoch=self.client.topology.mutation_epoch,
+            )
+            heapq.heappush(self._deadlines, (expires_at, next(self._seq), key))
+            return
+        if self.ttl <= 0.0:
+            return
+        daemon = getattr(self.client.topology.node_for_ip(host_ip), "identpp_daemon", None)
+        # Source answers name the one process that opened the flow, and
+        # a destination answer may carry flow-published pairs or a
+        # per-connection worker's identity: such entries serve only
+        # their own flow.  A listener's flow-independent answer shares.
+        flow_scoped = (
+            outcome.query.target_role == ROLE_SOURCE
+            or daemon is None
+            or not daemon.answer_is_shareable(outcome.query)
+        )
+        expires_at = ready_at + self.ttl
+        self._entries[key] = CacheEntry(
+            key=key,
+            host_ip=host_ip,
+            outcome=outcome,
+            ready_at=ready_at,
+            expires_at=expires_at,
+            flow_scoped=flow_scoped,
+        )
+        heapq.heappush(self._deadlines, (expires_at, next(self._seq), key))
+        if daemon is not None:
+            self._subscribe(host_ip, daemon)
+
+    def _subscribe(self, host_ip: str, daemon) -> None:
+        """Hook this engine into the answering daemon's invalidation fan-out."""
+        ip = str(host_ip)
+        if self._subscribed.get(ip) is daemon:
+            return
+        self._subscribed[ip] = daemon
+        daemon.add_invalidation_listener(
+            lambda reason, _ip=ip: self.invalidate_host(_ip, reason)
+        )
+
+    # ------------------------------------------------------------------
+    # Invalidation + expiry
+    # ------------------------------------------------------------------
+
+    def invalidate_host(self, host_ip, reason: str = "") -> int:
+        """Drop every entry (cached or in flight) for one host.
+
+        Called by daemon-side events — runtime-key publishes, socket
+        owner changes, spoofing, host compromise — and usable directly
+        by an administrator.  Returns how many entries were removed.
+        """
+        ip = str(host_ip)
+        stale = [key for key, entry in self._entries.items() if entry.host_ip == ip]
+        for key in stale:
+            del self._entries[key]
+        self.invalidation_events += 1
+        self.invalidated_entries += len(stale)
+        return len(stale)
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = len(self._entries)
+        self._entries.clear()
+        self._deadlines.clear()
+        return removed
+
+    def expire(self, now: float) -> int:
+        """Reclaim entries past their TTL (lifecycle-sweep hook).
+
+        Heap-driven: costs ``O(expired log n)``, not a full scan.
+        Popped deadlines whose entry was already invalidated, refreshed
+        or lookup-expired are skipped (lazy invalidation).
+        """
+        removed = 0
+        heap = self._deadlines
+        while heap and heap[0][0] <= now:
+            due, _, key = heapq.heappop(heap)
+            entry = self._entries.get(key)
+            if entry is not None and entry.expires_at == due:
+                del self._entries[key]
+                removed += 1
+        self.expirations += removed
+        return removed
+
+    def expirable_count(self) -> int:
+        """Return how many entries a sweep could ever reclaim."""
+        return len(self._entries)
+
+    def next_expiry(self) -> Optional[float]:
+        """Return the earliest live entry deadline (lifecycle scheduling hook)."""
+        heap = self._deadlines
+        while heap:
+            due, _, key = heap[0]
+            entry = self._entries.get(key)
+            if entry is None or entry.expires_at != due:
+                heapq.heappop(heap)
+                continue
+            return due
+        return None
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def lookups(self) -> int:
+        """Return how many queries were requested through the engine."""
+        return self.hits + self.misses + self.coalesced + self.negative_hits
+
+    def stats(self) -> dict[str, object]:
+        """Return headline numbers (surfaced by ``Controller.summary()``)."""
+        total = self.lookups()
+
+        def rate(count: int) -> float:
+            return count / total if total else 0.0
+
+        return {
+            "enabled": self.enabled,
+            "entries": len(self._entries),
+            "lookups": total,
+            "hits": self.hits,
+            "misses": self.misses,
+            "coalesced": self.coalesced,
+            "negative_hits": self.negative_hits,
+            "interceptor_bypasses": self.interceptor_bypasses,
+            "hit_rate": rate(self.hits),
+            "coalesce_rate": rate(self.coalesced),
+            "negative_hit_rate": rate(self.negative_hits),
+            "invalidation_events": self.invalidation_events,
+            "invalidated_entries": self.invalidated_entries,
+            "expirations": self.expirations,
+            "ttl": self.ttl,
+            "negative_ttl": self.negative_ttl,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryEngine({self.name!r}, ttl={self.ttl}, "
+            f"entries={len(self._entries)})"
+        )

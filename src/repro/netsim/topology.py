@@ -39,9 +39,15 @@ class Topology:
         self._mac_index = 0
         self._ip_to_node: dict[IPv4Address, Node] = {}
         # (source, target) name pair -> shortest path (as names); valid
-        # until the graph gains a node or link.  Path-wide flow install
-        # resolves one path per decision, so repeat pairs are the hot case.
+        # until the graph gains or loses a node or link.  Path-wide flow
+        # install resolves one path per decision, so repeat pairs are the
+        # hot case.
         self._path_cache: dict[tuple[str, str], list[str]] = {}
+        # Bumped on every connectivity mutation.  Derived caches (the
+        # path cache here, the query client's mean-link-latency) key on
+        # this instead of sizes: removing one link and adding another
+        # leaves counts unchanged but must still invalidate.
+        self._mutation_epoch = 0
 
     # ------------------------------------------------------------------
     # Nodes
@@ -54,7 +60,7 @@ class Topology:
         node.attach(self.sim)
         self._nodes[node.name] = node
         self._graph.add_node(node.name)
-        self._path_cache.clear()
+        self._note_mutation()
         return node
 
     def node(self, name: str) -> Node:
@@ -126,8 +132,44 @@ class Topology:
         link = Link(end_a, end_b, latency=latency, bandwidth=bandwidth)
         self._links.append(link)
         self._graph.add_edge(node_a.name, node_b.name, latency=latency, link=link)
-        self._path_cache.clear()
+        self._note_mutation()
         return link
+
+    def remove_link(self, node_a: Node | str, node_b: Node | str) -> Link:
+        """Remove the link directly connecting two nodes.
+
+        The endpoint ports are detached (and stay on their nodes, ready
+        to be re-wired), the graph edge disappears, and the mutation
+        epoch advances so every connectivity-derived cache re-reads the
+        topology.  Returns the removed :class:`Link`.
+        """
+        name_a = self._resolve(node_a).name
+        name_b = self._resolve(node_b).name
+        link = self.link_between(name_a, name_b)
+        if link is None:
+            raise TopologyError(f"nodes {name_a} and {name_b} are not adjacent")
+        for port in link.endpoints():
+            port.detach_link()
+        self._links.remove(link)
+        self._graph.remove_edge(name_a, name_b)
+        self._note_mutation()
+        return link
+
+    def _note_mutation(self) -> None:
+        """Record a connectivity change: bump the epoch, drop derived caches."""
+        self._mutation_epoch += 1
+        self._path_cache.clear()
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Return the connectivity mutation counter (bumped per node/link change).
+
+        Anything caching a value derived from connectivity (paths, mean
+        link latency) must key the cache on this epoch, **not** on node
+        or link counts: a remove-then-add leaves the counts unchanged
+        while the derived values move.
+        """
+        return self._mutation_epoch
 
     def links(self) -> list[Link]:
         """Return all links in creation order."""
@@ -171,7 +213,8 @@ class Topology:
         lexicographically smallest node-name sequence.  Path-wide flow
         install depends on this — every decision about a flow, on any
         controller, must resolve the *same* hop set.  Results are cached
-        until the topology gains a node or link.
+        until the topology's connectivity mutates (node or link added or
+        removed).
         """
         source_name = self._resolve(source).name
         target_name = self._resolve(target).name

@@ -1,0 +1,503 @@
+"""Query-heavy workloads: the endpoint query cache under hot-server load.
+
+§2 step 3 — the controller "requests additional information from both
+the source and the destination end-hosts" — dominates flow-setup cost,
+and §3.5's "simple userspace ident++ daemon" is a serial process: a
+flash crowd of flows toward one popular server queues its queries
+behind each other.  The :class:`~repro.identpp.engine.QueryEngine`
+exists to take that cost off the punt path; this module proves it and
+gates it, runnable standalone (``make soak_queries``) and recorded in
+``BENCH_results.json`` as ``query_cache_bench``:
+
+* **Hot-server scale** — the throughput claim.  ``flows_per_server``
+  concurrent flows per hot server (the servers' daemons serialized) run
+  once with the cache disabled and once enabled.  Uncached, every punt
+  re-interrogates the server daemon and the makespan grows by one
+  ``processing_delay`` per flow; cached, the first punt's query is
+  shared by everyone (in-flight coalescing) and the makespan collapses
+  to one round trip.  Gate: ≥ ``QUERY_SPEEDUP_FLOOR``x decided-flows
+  per simulated second.
+
+* **Legacy negative cache** — the §4 "Incremental Benefit" claim.  Two
+  waves of flows toward a daemon-less host: uncached every flow burns
+  the full query timeout; cached the first wave shares one timeout and
+  the second wave hits the negative cache.  Gate: exactly one real
+  timeout in the cached run.
+
+* **Invalidation correctness** — the staleness claim.  A cached answer
+  must die the moment the daemon publishes new runtime keys, the
+  host's socket table changes owner, the host is compromised, or the
+  TTL lapses — each event must force a re-query (observed on the
+  daemon's ``queries_answered`` counter), and a socket-owner change
+  must flip the *decision* (the old tenant's answer may not admit the
+  new tenant's traffic).
+
+* **Cluster** — each shard runs its own engine; a wave split across a
+  2-shard cluster costs the hot daemon one answer per deciding shard,
+  not one per flow.
+
+Run standalone::
+
+    python -m repro.workloads.queryload
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.controller import ControllerConfig
+from repro.core.network import HostSpec, IdentPPClusterNetwork, IdentPPNetwork
+
+#: Web traffic must prove the server really is httpd (a dst-side
+#: answer); port 8080 is the legacy carve-out that needs no dst info
+#: (§4 — daemon-less hosts can still be served by coarser rules).
+QUERYLOAD_POLICY = (
+    "block all\n"
+    "pass from any to any port 80 with eq(@dst[name], httpd)\n"
+    "pass from any to any port 8080\n"
+)
+
+#: Acceptance floor for cached-vs-uncached decided-flows/vsec on the
+#: hot-server workload — the single source ``make soak_queries`` and
+#: ``make bench`` both gate on.
+QUERY_SPEEDUP_FLOOR = 5.0
+
+
+@dataclass
+class QueryLoadConfig:
+    """Tunables of the query-heavy soak."""
+
+    clients: int = 10
+    hot_servers: int = 2
+    flows_per_server: int = 100
+    #: Serial occupancy of a hot server's daemon per answer (§3.5's
+    #: userspace daemon is single-threaded).
+    daemon_processing: float = 500e-6
+    client_link_latency: float = 50e-6
+    #: Edge→core and core→server hops: the round trip the cache saves.
+    core_link_latency: float = 1e-3
+    server_link_latency: float = 1e-3
+    cache_ttl: float = 30.0
+    legacy_flows_per_wave: int = 20
+    legacy_wave_gap: float = 0.2
+    #: Short TTL used by the expiry probe.
+    ttl_probe: float = 0.25
+    cluster_shards: int = 2
+
+    def controller_config(self, *, cache_ttl: float) -> ControllerConfig:
+        """Return the controller config for one phase run."""
+        return ControllerConfig(query_cache_ttl=cache_ttl)
+
+
+@dataclass
+class QueryLoadReport:
+    """What the query soak observed, with the acceptance gates applied."""
+
+    flows_hot: int
+    uncached_decided_per_vsec: float
+    cached_decided_per_vsec: float
+    uncached_makespan: float
+    cached_makespan: float
+    engine_stats: dict
+    hot_daemon_answers_uncached: int
+    hot_daemon_answers_cached: int
+    legacy_flows: int
+    legacy_uncached_timeouts: int
+    legacy_cached_timeouts: int
+    legacy_negative_hits: int
+    legacy_coalesced: int
+    cache_hit_before_events: bool
+    requery_after_publish: bool
+    requery_after_socket_change: bool
+    blocked_after_socket_change: bool
+    requery_after_compromise: bool
+    requery_after_ttl: bool
+    cluster_flows: int
+    cluster_shards_deciding: int
+    cluster_daemon_answers: int
+    cluster_per_shard_lookups: dict[str, int]
+    wall_seconds: float = 0.0
+    # Computed from the fields above, never passed in.
+    violations: list[str] = field(init=False, default_factory=list)
+
+    @property
+    def speedup(self) -> float:
+        """Cached over uncached decided-flows per simulated second."""
+        if not self.uncached_decided_per_vsec:
+            return 0.0
+        return self.cached_decided_per_vsec / self.uncached_decided_per_vsec
+
+    def __post_init__(self) -> None:
+        self.violations = self._compute_violations()
+
+    def _compute_violations(self) -> list[str]:
+        violations = []
+        if self.speedup < QUERY_SPEEDUP_FLOOR:
+            violations.append(
+                f"hot-server speedup {self.speedup:.2f}x below the "
+                f"{QUERY_SPEEDUP_FLOOR:g}x floor"
+            )
+        if self.legacy_cached_timeouts != 1:
+            violations.append(
+                f"legacy host cost {self.legacy_cached_timeouts} real timeouts "
+                "with the negative cache on (want exactly 1 per TTL)"
+            )
+        if self.legacy_negative_hits < self.legacy_flows // 2:
+            violations.append(
+                f"only {self.legacy_negative_hits} negative-cache hits for "
+                f"{self.legacy_flows // 2} second-wave legacy flows"
+            )
+        if not self.cache_hit_before_events:
+            violations.append("repeat flow re-queried the daemon despite a warm cache")
+        if not self.requery_after_publish:
+            violations.append("runtime-key publish did not force a re-query")
+        if not self.requery_after_socket_change:
+            violations.append("socket-table owner change did not force a re-query")
+        if not self.blocked_after_socket_change:
+            violations.append(
+                "stale cached answer admitted traffic after the socket owner changed"
+            )
+        if not self.requery_after_compromise:
+            violations.append("host compromise did not force a re-query")
+        if not self.requery_after_ttl:
+            violations.append("TTL expiry did not force a re-query")
+        if self.cluster_daemon_answers != self.cluster_shards_deciding:
+            violations.append(
+                f"cluster run cost the hot daemon {self.cluster_daemon_answers} "
+                f"answers for {self.cluster_shards_deciding} deciding shards "
+                "(want one per shard engine)"
+            )
+        return violations
+
+    @property
+    def gates_ok(self) -> bool:
+        """True when every acceptance gate held."""
+        return not self.violations
+
+    def as_dict(self) -> dict[str, object]:
+        """Return a JSON-serialisable summary for the benchmark suite."""
+        return {
+            "flows_hot": self.flows_hot,
+            "uncached_decided_per_vsec": round(self.uncached_decided_per_vsec, 1),
+            "cached_decided_per_vsec": round(self.cached_decided_per_vsec, 1),
+            "uncached_makespan_vsec": round(self.uncached_makespan, 6),
+            "cached_makespan_vsec": round(self.cached_makespan, 6),
+            "speedup": round(self.speedup, 2),
+            "hot_daemon_answers_uncached": self.hot_daemon_answers_uncached,
+            "hot_daemon_answers_cached": self.hot_daemon_answers_cached,
+            "engine": {
+                key: self.engine_stats.get(key)
+                for key in ("lookups", "hits", "misses", "coalesced",
+                            "negative_hits", "hit_rate", "coalesce_rate")
+            },
+            "legacy_flows": self.legacy_flows,
+            "legacy_uncached_timeouts": self.legacy_uncached_timeouts,
+            "legacy_cached_timeouts": self.legacy_cached_timeouts,
+            "legacy_negative_hits": self.legacy_negative_hits,
+            "legacy_coalesced": self.legacy_coalesced,
+            "invalidation": {
+                "cache_hit_before_events": self.cache_hit_before_events,
+                "requery_after_publish": self.requery_after_publish,
+                "requery_after_socket_change": self.requery_after_socket_change,
+                "blocked_after_socket_change": self.blocked_after_socket_change,
+                "requery_after_compromise": self.requery_after_compromise,
+                "requery_after_ttl": self.requery_after_ttl,
+            },
+            "cluster": {
+                "flows": self.cluster_flows,
+                "shards_deciding": self.cluster_shards_deciding,
+                "daemon_answers": self.cluster_daemon_answers,
+                "per_shard_lookups": dict(self.cluster_per_shard_lookups),
+            },
+            "gates_ok": self.gates_ok,
+            "violations": list(self.violations),
+            "wall_seconds": round(self.wall_seconds, 3),
+        }
+
+
+class QueryLoadBench:
+    """Run every query-cache phase and report against the gates."""
+
+    def __init__(self, config: Optional[QueryLoadConfig] = None) -> None:
+        self.config = config if config is not None else QueryLoadConfig()
+
+    # ------------------------------------------------------------------
+    # Fabric builders
+    # ------------------------------------------------------------------
+
+    def _build_net(
+        self,
+        name: str,
+        *,
+        cache_ttl: float,
+        legacy_server: bool = False,
+    ) -> IdentPPNetwork:
+        """Clients — sw-edge — sw-core — hot servers (+ optional legacy)."""
+        cfg = self.config
+        net = IdentPPNetwork(
+            name,
+            policy_default_action="block",
+            controller_config=cfg.controller_config(cache_ttl=cache_ttl),
+        )
+        self._populate(net, legacy_server=legacy_server)
+        return net
+
+    def _populate(self, net: IdentPPNetwork, *, legacy_server: bool = False) -> None:
+        cfg = self.config
+        edge = net.add_switch("sw-edge")
+        core = net.add_switch("sw-core")
+        net.connect(edge, core, latency=cfg.core_link_latency)
+        for index in range(cfg.clients):
+            net.add_host(
+                HostSpec(
+                    name=f"client{index}",
+                    ip=f"192.168.0.{10 + index}",
+                    users={"alice": ("users", "staff")},
+                ),
+                switch=edge,
+                link_latency=cfg.client_link_latency,
+            )
+        for index in range(cfg.hot_servers):
+            server = net.add_host(
+                HostSpec(name=f"server{index}", ip=f"192.168.1.{1 + index}"),
+                switch=core,
+                link_latency=cfg.server_link_latency,
+            )
+            server.run_server("httpd", "root", 80)
+            # The paper's "simple userspace daemon" answers serially:
+            # this is the contended resource the cache takes off the
+            # punt path.
+            net.daemon(f"server{index}").serialize = True
+            net.daemon(f"server{index}").processing_delay = cfg.daemon_processing
+        if legacy_server:
+            net.add_host(
+                HostSpec(name="legacy", ip="192.168.2.1", run_daemon=False),
+                switch=core,
+                link_latency=cfg.server_link_latency,
+            )
+        net.set_policy({"00-queryload.control": QUERYLOAD_POLICY})
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def _hot_wave(self, net: IdentPPNetwork) -> tuple[int, float]:
+        """Inject the hot-server flash crowd; return (decided, makespan)."""
+        cfg = self.config
+        for index in range(cfg.flows_per_server * cfg.hot_servers):
+            client = net.host(f"client{index % cfg.clients}")
+            client.open_flow(
+                "http", "alice", f"192.168.1.{1 + index % cfg.hot_servers}", 80
+            )
+        net.run()
+        records = [r for r in net.controller.audit.records() if not r.cached]
+        makespan = max((r.time for r in records), default=0.0)
+        return len(records), makespan
+
+    def _run_hot_phase(self) -> dict:
+        cfg = self.config
+        out: dict = {"flows": cfg.flows_per_server * cfg.hot_servers}
+        for label, ttl in (("uncached", 0.0), ("cached", cfg.cache_ttl)):
+            net = self._build_net(f"queryload-{label}", cache_ttl=ttl)
+            decided, makespan = self._hot_wave(net)
+            out[label] = {
+                "decided": decided,
+                "makespan": makespan,
+                "per_vsec": decided / makespan if makespan else 0.0,
+                "daemon_answers": int(
+                    sum(net.daemon(f"server{i}").queries_answered.value
+                        for i in range(cfg.hot_servers))
+                ),
+                "engine_stats": net.controller.query_engine.stats(),
+            }
+        return out
+
+    def _run_legacy_phase(self) -> dict:
+        cfg = self.config
+        out: dict = {"flows": 2 * cfg.legacy_flows_per_wave}
+        for label, ttl in (("uncached", 0.0), ("cached", cfg.cache_ttl)):
+            net = self._build_net(f"queryload-legacy-{label}", cache_ttl=ttl,
+                                  legacy_server=True)
+            sim = net.topology.sim
+
+            def wave() -> None:
+                for index in range(cfg.legacy_flows_per_wave):
+                    client = net.host(f"client{index % cfg.clients}")
+                    client.open_flow("http", "alice", "192.168.2.1", 8080)
+
+            wave()
+            sim.schedule_at(cfg.legacy_wave_gap, wave)
+            net.run()
+            engine = net.controller.query_engine
+            out[label] = {
+                "timeouts": int(net.controller.query_client.queries_timed_out.value),
+                "negative_hits": engine.negative_hits,
+                "coalesced": engine.coalesced,
+                "decided": sum(
+                    1 for r in net.controller.audit.records() if not r.cached
+                ),
+            }
+        return out
+
+    def _run_invalidation_phase(self) -> dict:
+        """The correctness gate: every staleness event must force a re-query."""
+        cfg = self.config
+        net = self._build_net("queryload-invalidate", cache_ttl=cfg.cache_ttl)
+        daemon = net.daemon("server0")
+        daemon.serialize = False  # latency is irrelevant here
+        server = net.host("server0")
+        answered = daemon.queries_answered
+
+        httpd_process, httpd_socket = None, None
+        for socket in server.sockets.sockets():
+            if socket.is_listening and socket.local_port == 80:
+                httpd_process, httpd_socket = socket.process, socket
+        result: dict = {}
+
+        first = net.send_flow("client0", "http", "alice", "192.168.1.1", 80)
+        after_first = int(answered.value)
+        second = net.send_flow("client1", "http", "alice", "192.168.1.1", 80)
+        result["cache_hit_before_events"] = (
+            first.decision_action == "pass"
+            and second.decision_action == "pass"
+            and int(answered.value) == after_first
+        )
+
+        # (a) The application publishes new runtime keys.
+        daemon.runtime.publish_for_process(httpd_process, {"patched": "yes"})
+        net.send_flow("client2", "http", "alice", "192.168.1.1", 80)
+        after_publish = int(answered.value)
+        result["requery_after_publish"] = after_publish > after_first
+
+        # (b) The socket's owner changes: httpd is replaced by telnet on
+        # the same port.  The stale answer (name=httpd) would wrongly
+        # admit the new tenant's traffic.
+        server.sockets.close(httpd_socket)
+        server.run_server("telnet", "root", 80)
+        retenant = net.send_flow("client3", "http", "alice", "192.168.1.1", 80)
+        after_socket = int(answered.value)
+        result["requery_after_socket_change"] = after_socket > after_publish
+        result["blocked_after_socket_change"] = retenant.decision_action == "block"
+
+        # (c) Host compromise (the §5.3 attacker controls the daemon).
+        server.mark_compromised()
+        daemon.spoof_responses({"name": "httpd"})
+        net.send_flow("client4", "http", "alice", "192.168.1.1", 80)
+        result["requery_after_compromise"] = int(answered.value) > after_socket
+
+        # (d) TTL expiry on a separate short-TTL network.  Flows are
+        # driven with open_flow + run-to-idle (not send_flow, whose
+        # settle window would advance the clock past the short TTL).
+        ttl_net = self._build_net("queryload-ttl", cache_ttl=cfg.ttl_probe)
+        ttl_daemon = ttl_net.daemon("server0")
+        ttl_daemon.serialize = False
+        ttl_net.host("client0").open_flow("http", "alice", "192.168.1.1", 80)
+        ttl_net.run()
+        baseline = int(ttl_daemon.queries_answered.value)
+        ttl_net.host("client1").open_flow("http", "alice", "192.168.1.1", 80)
+        ttl_net.run()
+        hit_within_ttl = int(ttl_daemon.queries_answered.value) == baseline
+        ttl_net.run(duration=2 * cfg.ttl_probe)
+        ttl_net.host("client2").open_flow("http", "alice", "192.168.1.1", 80)
+        ttl_net.run()
+        result["requery_after_ttl"] = (
+            hit_within_ttl and int(ttl_daemon.queries_answered.value) > baseline
+        )
+        return result
+
+    def _run_cluster_phase(self) -> dict:
+        """Each shard runs its own engine: one daemon answer per deciding shard."""
+        cfg = self.config
+        net = IdentPPClusterNetwork(
+            "queryload-cluster",
+            shards=cfg.cluster_shards,
+            policy_default_action="block",
+            controller_config=cfg.controller_config(cache_ttl=cfg.cache_ttl),
+        )
+        self._populate(net)
+        flows = cfg.flows_per_server
+        for index in range(flows):
+            client = net.host(f"client{index % cfg.clients}")
+            client.open_flow("http", "alice", "192.168.1.1", 80)
+        net.run()
+        daemon = net.daemon("server0")
+        per_shard_lookups = {
+            name: controller.query_engine.lookups()
+            for name, controller in net.cluster.replicas.items()
+        }
+        shards_deciding = sum(
+            1 for controller in net.cluster.replicas.values()
+            if any(not r.cached for r in controller.audit.records())
+        )
+        return {
+            "flows": flows,
+            "shards_deciding": shards_deciding,
+            "daemon_answers": int(daemon.queries_answered.value),
+            "per_shard_lookups": per_shard_lookups,
+        }
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+
+    def run(self) -> QueryLoadReport:
+        """Run all four phases and return the gated report."""
+        wall_start = time.perf_counter()
+        hot = self._run_hot_phase()
+        legacy = self._run_legacy_phase()
+        invalidation = self._run_invalidation_phase()
+        cluster = self._run_cluster_phase()
+        return QueryLoadReport(
+            flows_hot=hot["flows"],
+            uncached_decided_per_vsec=hot["uncached"]["per_vsec"],
+            cached_decided_per_vsec=hot["cached"]["per_vsec"],
+            uncached_makespan=hot["uncached"]["makespan"],
+            cached_makespan=hot["cached"]["makespan"],
+            engine_stats=hot["cached"]["engine_stats"],
+            hot_daemon_answers_uncached=hot["uncached"]["daemon_answers"],
+            hot_daemon_answers_cached=hot["cached"]["daemon_answers"],
+            legacy_flows=legacy["flows"],
+            legacy_uncached_timeouts=legacy["uncached"]["timeouts"],
+            legacy_cached_timeouts=legacy["cached"]["timeouts"],
+            legacy_negative_hits=legacy["cached"]["negative_hits"],
+            legacy_coalesced=legacy["cached"]["coalesced"],
+            cache_hit_before_events=invalidation["cache_hit_before_events"],
+            requery_after_publish=invalidation["requery_after_publish"],
+            requery_after_socket_change=invalidation["requery_after_socket_change"],
+            blocked_after_socket_change=invalidation["blocked_after_socket_change"],
+            requery_after_compromise=invalidation["requery_after_compromise"],
+            requery_after_ttl=invalidation["requery_after_ttl"],
+            cluster_flows=cluster["flows"],
+            cluster_shards_deciding=cluster["shards_deciding"],
+            cluster_daemon_answers=cluster["daemon_answers"],
+            cluster_per_shard_lookups=cluster["per_shard_lookups"],
+            wall_seconds=time.perf_counter() - wall_start,
+        )
+
+
+def _print_report(payload: dict[str, object]) -> None:
+    width = max(len(key) for key in payload)
+    for key, value in payload.items():
+        print(f"  {key:<{width}}  {value}")
+
+
+def main() -> int:
+    """``make soak_queries`` entry point: all phases, gated."""
+    print("running query-cache soak (hot server, legacy host, invalidation, cluster) ...")
+    report = QueryLoadBench().run()
+    _print_report(report.as_dict())
+    if not report.gates_ok:
+        for violation in report.violations:
+            print(f"FAIL: {violation}")
+        return 1
+    print(
+        "query soak ok: caching/coalescing carries the hot-server load, "
+        "invalidation keeps it honest"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -382,7 +382,7 @@ class TestLifecycleSweepsNetwork:
 
 
 class TestInterceptorLatencyCache:
-    def test_mean_is_cached_and_invalidated_by_link_count(self):
+    def test_mean_is_cached_and_invalidated_by_mutation_epoch(self):
         net = build_network()
         qc = net.controller.query_client
         switch = net.switches["sw-left"]
@@ -390,7 +390,9 @@ class TestInterceptorLatencyCache:
         links = net.topology.links()
         expected = 2.0 * (sum(l.latency for l in links) / len(links))
         assert first == pytest.approx(expected)
-        assert qc._mean_link_latency == (len(links), pytest.approx(expected / 2.0))
+        assert qc._mean_link_latency == (
+            net.topology.mutation_epoch, pytest.approx(expected / 2.0)
+        )
         # Growing the topology invalidates the cached mean.
         extra = net.add_switch("sw-extra")
         net.connect(extra, "sw-right", latency=10.0)
@@ -398,3 +400,22 @@ class TestInterceptorLatencyCache:
         links = net.topology.links()
         assert second == pytest.approx(2.0 * sum(l.latency for l in links) / len(links))
         assert second != first
+
+    def test_remove_then_add_link_recomputes_mean(self):
+        # Regression: the mean used to be keyed on the *link count*, so
+        # removing a link and adding a different-latency one (count
+        # unchanged) served the stale mean forever.
+        net = build_network()
+        qc = net.controller.query_client
+        switch = net.switches["sw-left"]
+        extra = net.add_switch("sw-extra")
+        net.connect(extra, "sw-right", latency=1.0)
+        before = qc._interceptor_latency(switch)
+        count_before = net.topology.link_count()
+        net.topology.remove_link(extra, "sw-right")
+        net.connect(extra, "sw-right", latency=25.0)
+        assert net.topology.link_count() == count_before
+        after = qc._interceptor_latency(switch)
+        links = net.topology.links()
+        assert after == pytest.approx(2.0 * sum(l.latency for l in links) / len(links))
+        assert after != before

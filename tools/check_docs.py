@@ -1,11 +1,17 @@
 #!/usr/bin/env python
-"""Docs rot check: every relative link in the markdown tree must resolve.
+"""Docs rot check: links must resolve, required sections must exist.
 
 Scans ``docs/*.md``, ``README.md``, ``ROADMAP.md`` and ``CHANGES.md``
 for markdown inline links (``[text](target)``) and fails (exit 1) when
 a relative link points at a file that does not exist.  External links
 (``http(s)://``) and pure anchors (``#...``) are skipped; a
 ``path#anchor`` link is checked for the path part only.
+
+On top of links, ``REQUIRED_SECTIONS`` pins the headings the rest of
+the repo refers to (subsystem docs each PR promises, benchmark gate
+tables): deleting or renaming one without updating this list fails the
+check, so the architecture/benchmark docs cannot silently lose the
+sections other documents and PR acceptance criteria point at.
 
 Run directly or via ``make docs_check``; CI runs it in the docs job so
 documentation cannot drift from the tree it describes.
@@ -24,6 +30,44 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 #: Files whose links are checked.
 DOC_FILES = ["README.md", "ROADMAP.md", "CHANGES.md"]
+
+#: Headings (exact markdown lines) each doc must keep carrying.
+REQUIRED_SECTIONS: dict[str, list[str]] = {
+    "docs/ARCHITECTURE.md": [
+        "## Paper-section → module map",
+        "## Package dependency order",
+        "## Life of a punted flow (multi-hop edition)",
+        "## Query engine",
+    ],
+    "docs/BENCHMARKS.md": [
+        "## `results` entries",
+        "### Cluster control plane (PR 3)",
+        "### Enforcement fabric (PR 4)",
+        "### Query engine (PR 5)",
+        "## `derived` entries",
+    ],
+    "README.md": [
+        "## Performance architecture",
+        "## State lifecycle",
+        "## Cluster control plane",
+        "## Query engine",
+    ],
+}
+
+
+def check_required_sections() -> list[str]:
+    """Return a problem line for every required heading that is missing."""
+    problems = []
+    for rel_path, headings in sorted(REQUIRED_SECTIONS.items()):
+        path = REPO_ROOT / rel_path
+        if not path.exists():
+            problems.append(f"{rel_path}: required doc file is missing")
+            continue
+        lines = {line.strip() for line in path.read_text(encoding="utf-8").splitlines()}
+        for heading in headings:
+            if heading not in lines:
+                problems.append(f"{rel_path}: missing required section {heading!r}")
+    return problems
 
 
 def iter_doc_files() -> list[Path]:
@@ -63,13 +107,20 @@ def main() -> int:
     problems: list[str] = []
     for path in files:
         problems.extend(check_file(path))
+    problems.extend(check_required_sections())
     for problem in problems:
         print(problem)
     checked = len(files)
     if problems:
-        print(f"docs check FAILED: {len(problems)} broken links in {checked} files")
+        print(
+            f"docs check FAILED: {len(problems)} problems "
+            f"(broken links / missing sections) in {checked} files"
+        )
         return 1
-    print(f"docs check ok: all relative links resolve across {checked} files")
+    print(
+        f"docs check ok: all relative links resolve and required sections "
+        f"present across {checked} files"
+    )
     return 0
 
 
