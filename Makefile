@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries docs_check
+.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries soak_async docs_check
 
 test:
 	$(PYTHON) -m pytest -q
@@ -20,6 +20,9 @@ soak_fabric:
 
 soak_queries:
 	$(PYTHON) -m repro.workloads.queryload
+
+soak_async:
+	$(PYTHON) -m repro.workloads.decision_core
 
 docs_check:
 	$(PYTHON) tools/check_docs.py

@@ -39,6 +39,12 @@ from repro.workloads.cluster import (  # noqa: E402
     ClusterFailoverChurn,
     ClusterScaleBench,
 )
+from repro.workloads.decision_core import (  # noqa: E402
+    ASYNC_DEGRADATION_CEILING,
+    OVERLAP_SPEEDUP_FLOOR,
+    AsyncChurnSoak,
+    DecisionOverlapBench,
+)
 from repro.workloads.fabric import (  # noqa: E402
     FABRIC_SLOWDOWN_CEILING,
     FabricScaleBench,
@@ -223,6 +229,18 @@ def bench_fabric(results: dict) -> None:
     results["fabric_scale_bench"] = entry
 
 
+def bench_decision_core(results: dict) -> None:
+    """Decision core: query/eval overlap under daemon latency + async churn soak."""
+    overlap = DecisionOverlapBench().run()
+    entry = overlap.as_dict()
+    # Headline ops/s: async decided-flows per simulated second at the
+    # 10x daemon-latency scale (the overlap payoff).
+    top = overlap.scale_keys[-1]
+    entry["ops_per_sec"] = entry["decided_flows_per_vsec"]["async"][top]
+    results["decision_overlap_bench"] = entry
+    results["soak_async_decisions"] = AsyncChurnSoak().run().as_dict()
+
+
 def bench_queryload(results: dict) -> None:
     """Query engine: hot-server cache speedup + invalidation correctness."""
     report = QueryLoadBench().run()
@@ -248,6 +266,8 @@ def main() -> int:
     bench_fabric(results)
     print("running query-cache bench ...")
     bench_queryload(results)
+    print("running decision-core overlap bench + async soak ...")
+    bench_decision_core(results)
 
     derived = {
         "compiled_speedup_2000_rules": round(
@@ -277,6 +297,11 @@ def main() -> int:
         "query_cache_invalidation_ok": all(
             results["query_cache_bench"]["invalidation"].values()
         ),
+        "decision_overlap_speedup": results["decision_overlap_bench"]["overlap_speedup"],
+        "decision_async_degradation": results["decision_overlap_bench"][
+            "async_degradation"
+        ],
+        "async_soak_bounded": results["soak_async_decisions"]["bounded"],
     }
     payload = {
         "command": "python benchmarks/run_benchmarks.py",
@@ -325,6 +350,21 @@ def main() -> int:
         return 1
     if not results["query_cache_bench"]["gates_ok"]:
         print("FAIL: query-cache gates failed (see query_cache_bench.violations)")
+        return 1
+    if derived["decision_overlap_speedup"] < OVERLAP_SPEEDUP_FLOOR:
+        print(
+            f"FAIL: async-over-serial overlap speedup below the "
+            f"{OVERLAP_SPEEDUP_FLOOR:g}x acceptance floor"
+        )
+        return 1
+    if derived["decision_async_degradation"] > ASYNC_DEGRADATION_CEILING:
+        print(
+            f"FAIL: async core degraded more than {ASYNC_DEGRADATION_CEILING:g}x "
+            f"under 10x daemon latency"
+        )
+        return 1
+    if not derived["async_soak_bounded"]:
+        print("FAIL: async soak violated its bounds (see soak_async_decisions)")
         return 1
     return 0
 

@@ -35,11 +35,12 @@ lives and dies as a unit instead of decaying hop by hop.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.audit import AuditLog, DecisionRecord
-from repro.exceptions import PFError
+from repro.exceptions import ControllerError, PFError
 from repro.core.cache import DecisionCache
 from repro.core.interception import InterceptionPolicy
 from repro.core.lifecycle import LifecycleService
@@ -48,7 +49,7 @@ from repro.identpp.client import QueryClient, QueryInterceptor, QueryOutcome
 from repro.identpp.engine import QueryEngine
 from repro.identpp.flowspec import FlowSpec
 from repro.identpp.wire import DEFAULT_QUERY_KEYS, IDENT_PP_PORT, IdentQuery, IdentResponse
-from repro.netsim.events import Event
+from repro.netsim.events import Event, Future
 from repro.netsim.nodes import Node
 from repro.netsim.statistics import Histogram
 from repro.netsim.topology import Topology
@@ -77,6 +78,117 @@ class PathInstall:
 
 
 @dataclass
+class DecisionTask:
+    """One punted flow's trip through the continuation-scheduled pipeline.
+
+    A punt no longer runs as one synchronous call chain; it advances
+    through schedulable stages, each entered by its own event:
+
+    * ``wait`` — (serial core only) queued for the loop, queries not
+      yet dispatched;
+    * ``query`` — endpoint queries dispatched, answers in flight;
+    * ``queued`` — answers in, waiting for the serialized eval loop;
+    * ``eval`` — occupying the policy-eval stage.
+
+    ``arrival`` doubles as the punt's generation token: any stage whose
+    task no longer matches ``_inflight[flow]`` (the deadline failed the
+    punt closed, a failover exported it, or a re-punt superseded it)
+    discards itself instead of advancing.
+    """
+
+    flow: FlowSpec
+    arrival: float
+    switch: OpenFlowSwitch
+    stage: str = "query"
+    outcomes: list = field(default_factory=list)
+    #: When the last endpoint answer landed (0.0 until then).
+    ready_at: float = 0.0
+
+
+class SerialDecisionQueue:
+    """The controller's serialized stage as a real event-scheduled queue.
+
+    Replaces the old ``_busy_until`` timestamp fiction: instead of
+    reserving a closed-form slot arithmetically at punt time, tasks now
+    wait on an actual FIFO and occupy the loop one at a time, each
+    service ending with a scheduled completion event.  Queueing delay
+    emerges from the event timeline — on a uniform trace it matches the
+    old closed form exactly (``tests/test_decision_core.py`` proves the
+    recurrence), while heterogeneous traces are now served in *ready*
+    order rather than punt order, and superseded punts no longer occupy
+    phantom slots.
+    """
+
+    def __init__(self, controller: "IdentPPController") -> None:
+        self._controller = controller
+        self._queue: deque[DecisionTask] = deque()
+        self._current: Optional[DecisionTask] = None
+        self._event: Optional[Event] = None
+        self.served = 0
+        self.max_depth = 0
+
+    @property
+    def busy(self) -> bool:
+        """Return ``True`` while a task occupies the loop."""
+        return self._current is not None
+
+    def depth(self) -> int:
+        """Return queued plus in-service tasks."""
+        return len(self._queue) + (1 if self._current is not None else 0)
+
+    def submit(self, task: DecisionTask) -> None:
+        """Append a task and start serving if the loop is idle."""
+        self._queue.append(task)
+        self.max_depth = max(self.max_depth, self.depth())
+        if self._current is None:
+            self._start_next()
+
+    def _start_next(self) -> None:
+        controller = self._controller
+        while self._queue:
+            if controller.halted:
+                # The loop froze with the process; restart() resumes it.
+                return
+            task = self._queue.popleft()
+            if controller._inflight.get(task.flow) is not task:
+                # Superseded while queued (deadline fired, failover
+                # exported the flow, or a re-punt started a fresh
+                # pipeline): skip without occupying the loop — a real
+                # queue serves no phantom work.
+                continue
+            self._current = task
+            service = controller._service_time(task)
+            if controller.sim is not None:
+                self._event = controller.sim.schedule(
+                    service, self._finish, task, label=f"{controller.name}:decide"
+                )
+            else:
+                self._finish(task)
+            return
+
+    def _finish(self, task: DecisionTask) -> None:
+        self._current = None
+        self._event = None
+        self.served += 1
+        if not self._controller.halted:
+            self._controller._eval_step(task)
+        self._start_next()
+
+    def restart(self) -> None:
+        """Resume service after a halt froze the loop (frozen work replays)."""
+        if self._current is None:
+            self._start_next()
+
+    def reset(self) -> None:
+        """Drop all queued work (a failover handed the flows elsewhere)."""
+        self._queue.clear()
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+        self._current = None
+
+
+@dataclass
 class ControllerConfig:
     """Tunables of an :class:`IdentPPController`.
 
@@ -94,12 +206,31 @@ class ControllerConfig:
     * ``cache_capacity`` — optional LRU bound on the decision cache.
     * ``state_timeout`` — idle lifetime of ``keep state`` entries (the
       paper's PF default of 300 s).
-    * ``serialize_decisions`` — model the controller as a single serial
-      decision loop: each evaluation occupies it for
+    * ``serialize_decisions`` — model the controller's *policy-eval*
+      stage as a single serial loop: each evaluation occupies it for
       ``policy_eval_delay``, so concurrent punts queue behind each other
-      instead of overlapping.  This is what makes one controller a
-      measurable scalability chokepoint (and sharding a measurable win);
-      off by default so existing scenario timelines are unchanged.
+      instead of overlapping.  The queue is a real event-scheduled
+      serial resource (:class:`SerialDecisionQueue`); query round-trips
+      still overlap fully under the async core.  This is what makes one
+      controller a measurable scalability chokepoint (and sharding a
+      measurable win); off by default so existing scenario timelines are
+      unchanged.
+
+    The decision-core knobs pick how punts traverse the pipeline:
+
+    * ``decision_core`` — ``"async"`` (the default) runs each punt as a
+      chain of continuations on the simulator: queries are dispatched
+      immediately and the loop is yielded, each endpoint answer arrives
+      as its own event, and only policy eval can serialize.  Thousands
+      of round-trips overlap, so daemon latency sets flow-setup latency
+      but not throughput.  ``"serial"`` models the naive synchronous
+      controller: one punt is serviced end to end (queries *and* eval)
+      before the next starts, so daemon latency sums across punts — the
+      baseline the overlap bench measures the async core against.
+    * ``nonblocking_inbox`` — queue switch→controller messages and
+      drain them from a scheduled event instead of handling them inside
+      the channel's delivery call (see
+      :attr:`~repro.openflow.controller_base.Controller.nonblocking_inbox`).
 
     The query-engine knobs put a cache between the controller and the
     end-host daemons (§2 step 3 is the dominant flow-setup cost):
@@ -126,6 +257,8 @@ class ControllerConfig:
     cache_capacity: Optional[int] = None
     state_timeout: float = 300.0
     serialize_decisions: bool = False
+    decision_core: str = "async"
+    nonblocking_inbox: bool = False
     query_cache_ttl: float = 0.0
     query_negative_ttl: Optional[float] = None
 
@@ -145,6 +278,12 @@ class IdentPPController(Controller):
         self.topology = topology
         self.policy = policy
         self.config = config if config is not None else ControllerConfig()
+        if self.config.decision_core not in ("async", "serial"):
+            raise ControllerError(
+                f"unknown decision_core {self.config.decision_core!r} "
+                "(expected 'async' or 'serial')"
+            )
+        self.nonblocking_inbox = self.config.nonblocking_inbox
         self.query_client = QueryClient(topology)
         self.query_engine = QueryEngine(
             self.query_client,
@@ -171,9 +310,13 @@ class IdentPPController(Controller):
         # one PolicyEngine.decide_batch() call.
         self._decision_queue: list[tuple] = []
         self._flush_scheduled = False
-        # When the serialized decision loop next frees up (only advanced
-        # with config.serialize_decisions).
-        self._busy_until = 0.0
+        # Punts mid-pipeline: queries in flight, queued for the serial
+        # loop, or inside their eval slot.  Always a subset of
+        # ``_pending``; a failover export drains both together.
+        self._inflight: dict[FlowSpec, DecisionTask] = {}
+        # The serialized stage (policy eval, plus queries under the
+        # serial core) as a real event-scheduled queue.
+        self._serial = SerialDecisionQueue(self)
         self.policy_errors = 0
         self.pending_expired = 0
         self.repunts_adopted = 0
@@ -210,7 +353,7 @@ class IdentPPController(Controller):
         self.lifecycle.register(
             "pending",
             self._expire_stale_pending,
-            lambda: len(self._uncovered_pending()),
+            self._uncovered_pending_count,
             self._next_pending_deadline,
         )
         self.attach(topology.sim)
@@ -325,28 +468,22 @@ class IdentPPController(Controller):
             )
         self.lifecycle.kick()
 
-        outcomes = self._query_endpoints(flow, message.switch)
-        query_cost = QueryClient.combined_latency(outcomes)
-        self.query_latency.observe(query_cost)
-        total_delay = query_cost + self.config.policy_eval_delay
-        if self.config.serialize_decisions:
-            # The decision loop is a serial resource: the evaluation
-            # starts once the query responses are in *and* the loop is
-            # free, so bursts of punts queue instead of overlapping.
-            start = max(self.now + query_cost, self._busy_until)
-            self._busy_until = start + self.config.policy_eval_delay
-            total_delay = self._busy_until - self.now
-        if self.sim is not None:
-            self.sim.schedule(
-                total_delay,
-                self._complete_decision,
-                flow,
-                outcomes,
-                arrival,
-                label=f"{self.name}:decide",
-            )
-        else:
-            self._complete_decision(flow, outcomes, arrival)
+        task = DecisionTask(flow=flow, arrival=arrival, switch=message.switch)
+        self._inflight[flow] = task
+        if self.config.decision_core == "serial":
+            # Baseline synchronous controller: the loop services one
+            # punt end to end — queries *and* eval — before the next
+            # starts, so daemon latency sums across concurrent punts.
+            task.stage = "wait"
+            self._serial.submit(task)
+            return
+        # Async core: dispatch the endpoint queries now and yield the
+        # loop.  Each answer arrives as its own scheduled event; the
+        # gather barrier fires _answers_ready at the instant the last
+        # one lands, so thousands of round-trips overlap in flight.
+        Future.gather(self._dispatch_queries_async(flow, message.switch)).add_done_callback(
+            lambda outcomes, task=task: self._answers_ready(task, outcomes)
+        )
 
     def _query_endpoints(self, flow: FlowSpec, switch: OpenFlowSwitch) -> list[QueryOutcome]:
         """Issue the ident++ queries for a flow (both ends, or source only).
@@ -369,17 +506,95 @@ class IdentPPController(Controller):
         )
         return [src_outcome]
 
+    def _dispatch_queries_async(self, flow: FlowSpec, switch: OpenFlowSwitch) -> list[Future]:
+        """Dispatch the ident++ queries for a flow; answers arrive as events.
+
+        The async twin of :meth:`_query_endpoints`: the same engine
+        semantics (cache hits, coalescing onto in-flight round-trips,
+        negative caching), but each endpoint's answer completes its own
+        :class:`~repro.netsim.events.Future` at the instant it lands
+        instead of being charged as one opaque blocking delay.
+        """
+        interceptors = tuple(self.peer_interceptors)
+        if self.config.query_both_ends:
+            src_future, dst_future = self.query_engine.query_both_ends_async(
+                flow, from_node=switch, keys=self.config.query_keys, interceptors=interceptors
+            )
+            return [src_future, dst_future]
+        return [
+            self.query_engine.query_async(
+                flow, "src", from_node=switch, keys=self.config.query_keys,
+                interceptors=interceptors,
+            )
+        ]
+
+    def _answers_ready(self, task: DecisionTask, outcomes: list) -> None:
+        """Continuation: the last endpoint answer landed; head for eval.
+
+        Runs at the arrival instant of the slower answer.  A task whose
+        punt was resolved while the queries were in flight (deadline,
+        failover export, re-punt) discards itself here; a halted
+        controller leaves the task frozen for ``export_pending``.
+        """
+        task.outcomes = list(outcomes)
+        task.ready_at = self.now
+        query_cost = QueryClient.combined_latency(task.outcomes)
+        self.query_latency.observe(query_cost)
+        if self.halted:
+            # The crash froze this decision mid-flight; the flow stays
+            # in ``_pending`` for the failover monitor to export.
+            return
+        if self._inflight.get(task.flow) is not task:
+            return
+        if self.config.serialize_decisions:
+            task.stage = "queued"
+            self._serial.submit(task)
+            return
+        task.stage = "eval"
+        if self.sim is not None:
+            self.sim.schedule(
+                self.config.policy_eval_delay, self._eval_step, task,
+                label=f"{self.name}:decide",
+            )
+        else:
+            self._eval_step(task)
+
+    def _eval_step(self, task: DecisionTask) -> None:
+        """Continuation: the policy-eval slot elapsed; hand over for batching."""
+        self._complete_decision(task.flow, task.outcomes, task.arrival)
+
+    def _service_time(self, task: DecisionTask) -> float:
+        """Return how long ``task`` occupies the serialized loop.
+
+        Under the async core the queries already ran; only the eval
+        occupies the loop.  Under the serial core the loop performs the
+        blocking query round-trip itself, so the punt holds it for the
+        queries *plus* the eval — the collapse the overlap bench shows.
+        """
+        if task.stage == "wait":
+            task.outcomes = self._query_endpoints(task.flow, task.switch)
+            query_cost = QueryClient.combined_latency(task.outcomes)
+            self.query_latency.observe(query_cost)
+            task.ready_at = self.now
+            task.stage = "eval"
+            return query_cost + self.config.policy_eval_delay
+        task.stage = "eval"
+        return self.config.policy_eval_delay
+
     def _complete_decision(
         self,
         flow: FlowSpec,
         outcomes: Sequence[QueryOutcome],
         arrival: float,
     ) -> None:
-        """Queue a flow whose query responses are in for (batched) evaluation.
+        """Queue a flow whose eval slot elapsed for (batched) evaluation.
 
-        Decisions becoming ready at the same simulated instant are
-        evaluated together through :meth:`PolicyEngine.decide_batch`, so
-        the per-decision context setup is paid once per burst of punts.
+        The tail of the continuation pipeline (reached from
+        :meth:`_eval_step` once the answers are in and the eval delay —
+        serialized or not — has been paid).  Decisions becoming ready at
+        the same simulated instant are evaluated together through
+        :meth:`PolicyEngine.decide_batch`, so the per-decision context
+        setup is paid once per burst of punts.
         """
         if self.halted:
             # The crash froze this decision mid-flight; the flow stays in
@@ -509,8 +724,14 @@ class IdentPPController(Controller):
         return cookie
 
     def _pop_pending(self, flow: FlowSpec) -> list[PacketIn]:
-        """Claim a flow's buffered punts, disarming its fail-closed deadline."""
+        """Claim a flow's buffered punts, disarming its fail-closed deadline.
+
+        Also retires the flow's in-flight pipeline task: any of its
+        still-scheduled continuations (a query answer on the wire, a
+        queued eval) will find the task superseded and discard itself.
+        """
         self._pending_since.pop(flow, None)
+        self._inflight.pop(flow, None)
         deadline = self._pending_deadline_events.pop(flow, None)
         if deadline is not None:
             deadline.cancel()
@@ -526,6 +747,20 @@ class IdentPPController(Controller):
         if flow in self._pending:
             self._expire_pending_flow(flow)
 
+    def _uncovered_pending_count(self) -> int:
+        """O(1) probe: how many pending flows have no armed deadline event.
+
+        Every armed one-shot deadline covers exactly one pending flow
+        (both tables are populated at punt and drained together by
+        ``_pop_pending``), so the uncovered population is just the size
+        difference of the two tables.  The lifecycle service probes this
+        on every sweep-scheduling decision; the full scan below only
+        runs when this says there is something to reclaim.
+        """
+        if self.config.pending_deadline <= 0:
+            return 0
+        return len(self._pending_since) - len(self._pending_deadline_events)
+
     def _uncovered_pending(self) -> list[FlowSpec]:
         """Return pending flows with no armed one-shot deadline event."""
         if self.config.pending_deadline <= 0:
@@ -537,6 +772,8 @@ class IdentPPController(Controller):
 
     def _next_pending_deadline(self) -> Optional[float]:
         """Return when the oldest *uncovered* pending punt hits its deadline."""
+        if self._uncovered_pending_count() <= 0:
+            return None
         uncovered = self._uncovered_pending()
         if not uncovered:
             return None
@@ -880,9 +1117,14 @@ class IdentPPController(Controller):
 
         Pops the whole pending table — buffered PacketIns, arrival times
         and armed fail-closed deadlines — and returns ``(flow, punts)``
-        pairs in arrival order so a successor can adopt them.  Queued
-        but unevaluated decisions are discarded with their pending
-        entries: the successor re-runs the pipeline from the punt.
+        pairs in arrival order so a successor can adopt them.  Flows
+        frozen *mid-decision* — queries dispatched but answers still on
+        the wire, or queued for the serial loop — are pending too, so
+        they export with everything else; their orphaned continuations
+        find the task superseded when they fire and discard themselves.
+        Queued but unevaluated decisions are discarded with their
+        pending entries: the successor re-runs the pipeline from the
+        punt.
         """
         flows = sorted(self._pending_since, key=self._pending_since.__getitem__)
         flows += [flow for flow in self._pending if flow not in self._pending_since]
@@ -891,12 +1133,17 @@ class IdentPPController(Controller):
         self._flush_scheduled = False
         # The handed-off work no longer occupies this decision loop; a
         # restored shard must not serialize new punts behind it.
-        self._busy_until = 0.0
+        self._inflight.clear()
+        self._serial.reset()
         return exported
 
     def pending_flows(self) -> list[FlowSpec]:
         """Return the flows currently awaiting a decision."""
         return list(self._pending)
+
+    def inflight_count(self) -> int:
+        """Return how many punts are mid-pipeline (query/queued/eval stage)."""
+        return len(self._inflight)
 
     def resume(self) -> None:
         """Revive a halted controller without stranding its frozen flows.
@@ -911,9 +1158,10 @@ class IdentPPController(Controller):
           deadline, as if it had just been punted.
         """
         super().resume()
-        # Whatever occupied the decision loop died with the process;
-        # revived punts must not queue behind phantom work.
-        self._busy_until = 0.0
+        # The serial loop froze with the process; restart it so the
+        # still-queued (non-superseded) work and revived punts are
+        # served again instead of stalling behind a dead service slot.
+        self._serial.restart()
         if self.sim is not None and self.config.pending_deadline > 0:
             for flow in self._pending:
                 stale = self._pending_deadline_events.pop(flow, None)
@@ -1006,6 +1254,12 @@ class IdentPPController(Controller):
             "query_engine": self.query_engine.stats(),
             "lifecycle": self.lifecycle.stats(),
             "pending_flows": len(self._pending),
+            "inflight_decisions": len(self._inflight),
+            "serial_queue": {
+                "depth": self._serial.depth(),
+                "max_depth": self._serial.max_depth,
+                "served": self._serial.served,
+            },
             "pending_expired": self.pending_expired,
             "path_installs": len(self._path_installs),
             "path_unwinds": self.path_unwinds,

@@ -29,6 +29,7 @@ from repro.exceptions import TopologyError
 from repro.identpp.flowspec import FlowSpec
 from repro.identpp.keyvalue import ResponseDocument
 from repro.identpp.wire import DEFAULT_QUERY_KEYS, IdentQuery, IdentResponse, ROLE_DESTINATION, ROLE_SOURCE
+from repro.netsim.events import Future
 from repro.netsim.nodes import Node
 from repro.netsim.statistics import Counter
 from repro.netsim.topology import Topology
@@ -203,6 +204,41 @@ class QueryClient:
             answered_by=response.responder,
             augmented_by=augmented,
         )
+
+    def query_async(
+        self,
+        flow: FlowSpec,
+        role: str,
+        *,
+        from_node: Optional[Node] = None,
+        keys: Optional[Sequence[str]] = None,
+        interceptors: Sequence[QueryInterceptor] = (),
+    ) -> Future:
+        """Dispatch one endpoint query; the answer *arrives* as its own event.
+
+        Same resolution as :meth:`query`, but instead of handing the
+        outcome back in the same call (which forces the caller to model
+        the round trip as one opaque delay), the returned
+        :class:`~repro.netsim.events.Future` completes with the
+        :class:`QueryOutcome` at ``now + outcome.latency`` on the
+        topology's simulator — so a controller can interleave thousands
+        of in-flight queries and react to each answer the instant it
+        lands.  Without a simulator the future completes immediately
+        (degenerate synchronous operation, used by sim-less tests).
+        """
+        outcome = self.query(
+            flow, role, from_node=from_node, keys=keys, interceptors=interceptors
+        )
+        future = Future()
+        sim = self.topology.sim
+        if sim is None or outcome.latency <= 0:
+            future.set_result(outcome)
+        else:
+            sim.schedule(
+                outcome.latency, future.set_result, outcome,
+                label=f"identpp:answer:{role}",
+            )
+        return future
 
     def query_both_ends(
         self,

@@ -54,7 +54,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.identpp.client import (
@@ -65,6 +65,7 @@ from repro.identpp.client import (
 )
 from repro.identpp.flowspec import FlowSpec
 from repro.identpp.wire import IdentQuery, ROLE_DESTINATION, ROLE_SOURCE
+from repro.netsim.events import Future
 
 #: Default TTL benchmarks/workloads use when they enable the engine.
 DEFAULT_QUERY_CACHE_TTL = 30.0
@@ -96,6 +97,15 @@ class CacheEntry:
     unreachable: bool = False
     topology_epoch: int = -1
     hits: int = 0
+    #: Continuations parked on an in-flight entry by the async query
+    #: path: ``(future, prepared outcome)`` pairs completed together by
+    #: one arrival event when the underlying answer lands at
+    #: ``ready_at`` — N coalesced punts cost one event, not N timers.
+    waiters: list = field(default_factory=list)
+    #: Whether the shared arrival event for :attr:`waiters` is armed.
+    #: Stays ``True`` after it fires: past ``ready_at`` lookups are
+    #: plain hits and never enlist.
+    arrival_armed: bool = False
 
 
 class QueryEngine:
@@ -219,6 +229,137 @@ class QueryEngine:
             interceptors=toward_destination, now=now,
         )
         return src_outcome, dst_outcome
+
+    # ------------------------------------------------------------------
+    # Async queries (continuation-scheduled decision core)
+    # ------------------------------------------------------------------
+
+    def query_async(
+        self,
+        flow: FlowSpec,
+        role: str,
+        *,
+        from_node=None,
+        keys: Optional[Sequence[str]] = None,
+        interceptors: Sequence[QueryInterceptor] = (),
+        now: Optional[float] = None,
+    ) -> Future:
+        """Dispatch one endpoint query; the answer arrives as a scheduled event.
+
+        Same cache semantics (and the same counters) as :meth:`query`,
+        but the result is delivered through a
+        :class:`~repro.netsim.events.Future` completing at the instant
+        the answer is really available:
+
+        * a warm hit (or negative hit) completes immediately — a cached
+          answer costs zero simulated time;
+        * a coalescing lookup parks its continuation on the in-flight
+          entry's waiter list; the one shared arrival event completes
+          every waiter when the underlying round-trip lands;
+        * a miss issues the real query and completes at
+          ``now + outcome.latency``.
+
+        This is what lets the controller overlap thousands of in-flight
+        round-trips instead of charging each as one opaque delay.
+        """
+        if not self.enabled:
+            return self.client.query_async(
+                flow, role, from_node=from_node, keys=keys, interceptors=interceptors
+            )
+        if interceptors:
+            self.interceptor_bypasses += 1
+            return self.client.query_async(
+                flow, role, from_node=from_node, keys=keys, interceptors=interceptors
+            )
+        future = Future()
+        now = self._now(now)
+        key = self._key(flow, role, keys)
+        entry = self._entries.get(key)
+        if entry is not None and not self._valid(entry, now):
+            del self._entries[key]
+            self.expirations += 1
+            entry = None
+        if entry is not None and entry.flow_scoped and entry.outcome.query.flow != flow:
+            entry = None
+        if entry is not None:
+            outcome = self._serve(entry, flow, role, keys, now)
+            if outcome.coalesced:
+                self._enlist(entry, future, outcome, now)
+            else:
+                future.set_result(outcome)
+            return future
+        self.misses += 1
+        outcome = self.client.query(
+            flow, role, from_node=from_node, keys=keys, interceptors=interceptors
+        )
+        self._fill(key, outcome, now)
+        entry = self._entries.get(key)
+        sim = self.client.topology.sim
+        if entry is not None and sim is not None and entry.ready_at > now:
+            # The filler waits on the very entry it created, through the
+            # same waiter list any coalescing punt joins.
+            self._enlist(entry, future, outcome, now)
+        elif sim is not None and outcome.latency > 0:
+            sim.schedule(
+                outcome.latency, future.set_result, outcome,
+                label=f"identpp:answer:{role}",
+            )
+        else:
+            future.set_result(outcome)
+        return future
+
+    def query_both_ends_async(
+        self,
+        flow: FlowSpec,
+        *,
+        from_node=None,
+        keys: Optional[Sequence[str]] = None,
+        interceptors: Sequence[QueryInterceptor] = (),
+        now: Optional[float] = None,
+    ) -> tuple[Future, Future]:
+        """Dispatch both endpoint queries; each answer arrives independently.
+
+        Mirrors :meth:`query_both_ends` (including the per-role
+        interceptor ordering) but returns one future per endpoint, so
+        the caller can react to the faster answer without waiting for
+        the slower one.
+        """
+        toward_source, toward_destination = per_role_interceptors(interceptors)
+        src_future = self.query_async(
+            flow, ROLE_SOURCE, from_node=from_node, keys=keys,
+            interceptors=toward_source, now=now,
+        )
+        dst_future = self.query_async(
+            flow, ROLE_DESTINATION, from_node=from_node, keys=keys,
+            interceptors=toward_destination, now=now,
+        )
+        return src_future, dst_future
+
+    def _enlist(self, entry: CacheEntry, future: Future, outcome: QueryOutcome, now: float) -> None:
+        """Park a continuation on an in-flight entry's waiter list."""
+        sim = self.client.topology.sim
+        if sim is None or entry.ready_at <= now:
+            future.set_result(outcome)
+            return
+        entry.waiters.append((future, outcome))
+        if not entry.arrival_armed:
+            entry.arrival_armed = True
+            sim.schedule(
+                entry.ready_at - now, self._arrival_fired, entry,
+                label="identpp:answer-shared",
+            )
+
+    def _arrival_fired(self, entry: CacheEntry) -> None:
+        """The shared answer landed: complete every parked continuation.
+
+        Holds the entry object, not its key, so waiters still complete
+        if the entry was invalidated or replaced mid-flight — the answer
+        was already on the wire when the invalidation happened, and a
+        punt that joined the round-trip must not hang on it.
+        """
+        waiters, entry.waiters = entry.waiters, []
+        for future, outcome in waiters:
+            future.set_result(outcome)
 
     # ------------------------------------------------------------------
     # Cache mechanics

@@ -36,6 +36,90 @@ class Event:
         self.cancelled = True
 
 
+class Future:
+    """A one-shot completion slot for continuation-scheduled pipelines.
+
+    The async decision core composes punt → query → decide out of
+    schedulable steps; a :class:`Future` is the joint between two steps:
+    the producer calls :meth:`set_result` (usually from a scheduled
+    event) and every continuation registered with
+    :meth:`add_done_callback` runs immediately, at the producer's
+    simulated instant.  A callback added after completion runs at once,
+    so late subscribers (a coalescing waiter joining an already-answered
+    query) need no special casing.
+
+    Callbacks are deliberately synchronous — the *producer* is the
+    scheduled event, so continuations inherit its timestamp without
+    burning an extra queue entry per hop.  A step that must advance the
+    clock schedules its own follow-up event.
+    """
+
+    __slots__ = ("_done", "_result", "_callbacks")
+
+    def __init__(self) -> None:
+        self._done = False
+        self._result: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    @property
+    def done(self) -> bool:
+        """Return ``True`` once a result has been set."""
+        return self._done
+
+    def result(self) -> Any:
+        """Return the completed value; raises if the future is still open."""
+        if not self._done:
+            raise SimulationError("future result read before completion")
+        return self._result
+
+    def set_result(self, value: Any = None) -> None:
+        """Complete the future and run every registered continuation."""
+        if self._done:
+            raise SimulationError("future completed twice")
+        self._done = True
+        self._result = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            callback(value)
+
+    def add_done_callback(self, callback: Callable[[Any], None]) -> None:
+        """Run ``callback(result)`` on completion (immediately if already done)."""
+        if self._done:
+            callback(self._result)
+        else:
+            self._callbacks.append(callback)
+
+    @classmethod
+    def gather(cls, futures: "list[Future]") -> "Future":
+        """Return a future completing with the list of results once all are done.
+
+        The aggregate completes at the instant the *last* input does —
+        exactly the "both endpoint answers are in" barrier the decision
+        pipeline needs — and preserves input order in the result list.
+        An empty input completes immediately with ``[]``.
+        """
+        aggregate = cls()
+        remaining = len(futures)
+        if remaining == 0:
+            aggregate.set_result([])
+            return aggregate
+        results: list[Any] = [None] * remaining
+        state = {"left": remaining}
+
+        def _arm(index: int, future: "Future") -> None:
+            def _done(value: Any) -> None:
+                results[index] = value
+                state["left"] -= 1
+                if state["left"] == 0:
+                    aggregate.set_result(results)
+
+            future.add_done_callback(_done)
+
+        for index, future in enumerate(futures):
+            _arm(index, future)
+        return aggregate
+
+
 class RepeatingEvent:
     """A self-rescheduling callback with a termination condition.
 
@@ -63,6 +147,7 @@ class RepeatingEvent:
         self.label = label
         self.fires = 0
         self._event: Optional[Event] = None
+        self._cancelled = False
 
     @property
     def scheduled(self) -> bool:
@@ -72,19 +157,28 @@ class RepeatingEvent:
     def start(self) -> "RepeatingEvent":
         """Queue the next firing (idempotent while already scheduled)."""
         if not self.scheduled:
+            self._cancelled = False
             self._event = self.sim.schedule(self.interval, self._fire, label=self.label)
         return self
 
     def cancel(self) -> None:
-        """Stop the cycle; the pending firing (if any) is cancelled."""
+        """Stop the cycle; the pending firing (if any) is cancelled.
+
+        Cancelling from *inside* the callback also stops the cycle, even
+        when the callback returns truthy — at that point no firing is
+        queued, so the intent is recorded in a flag that vetoes the
+        reschedule.
+        """
+        self._cancelled = True
         if self._event is not None:
             self._event.cancel()
             self._event = None
 
     def _fire(self) -> None:
         self._event = None
+        self._cancelled = False
         self.fires += 1
-        if self.callback():
+        if self.callback() and not self._cancelled:
             self.start()
 
 

@@ -9,6 +9,7 @@ machinery lives in :class:`Controller`.
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Iterable, Optional, Sequence
 
 from repro.exceptions import ChannelError, OpenFlowError
@@ -52,6 +53,15 @@ class Controller:
         # Messages that arrived while halted (the dead process's socket
         # backlog); a failover monitor drains them to a successor.
         self._halted_inbox: list[ControlMessage] = []
+        # Opt-in non-blocking inbox: with this set (and a simulator
+        # attached), incoming messages are queued and drained by a
+        # same-instant scheduled event instead of being handled inside
+        # the channel's delivery call — a slow handler never blocks the
+        # delivery path, and handlers observe a consistent "all arrivals
+        # first, then dispatch" order within an instant.
+        self.nonblocking_inbox = False
+        self._inbox: deque[ControlMessage] = deque()
+        self._drain_scheduled = False
 
     # ------------------------------------------------------------------
     # Wiring
@@ -105,6 +115,27 @@ class Controller:
             # message so a failover can hand it to a live replica.
             self._halted_inbox.append(message)
             return
+        if self.nonblocking_inbox and self.sim is not None:
+            self._inbox.append(message)
+            if not self._drain_scheduled:
+                self._drain_scheduled = True
+                self.sim.schedule(0.0, self._drain_inbox, label=f"{self.name}:inbox")
+            return
+        self._dispatch(message)
+
+    def _drain_inbox(self) -> None:
+        """Drain the non-blocking inbox (one scheduled event per burst)."""
+        self._drain_scheduled = False
+        while self._inbox:
+            message = self._inbox.popleft()
+            if self.halted:
+                # The process died between arrival and dispatch; the
+                # backlog belongs to the failover handoff.
+                self._halted_inbox.append(message)
+                continue
+            self._dispatch(message)
+
+    def _dispatch(self, message: ControlMessage) -> None:
         if isinstance(message, PacketIn):
             self.packet_ins.increment()
             self.on_packet_in(message)
@@ -228,9 +259,16 @@ class Controller:
         self.halted = False
 
     def take_halted_messages(self) -> list[ControlMessage]:
-        """Drain the messages that arrived while halted (failover handoff)."""
-        inbox, self._halted_inbox = self._halted_inbox, []
-        return inbox
+        """Drain the messages that arrived while halted (failover handoff).
+
+        Messages still sitting in the non-blocking inbox — delivered
+        before the crash but never dispatched — are part of the dead
+        process's backlog too, and come first (they arrived first).
+        """
+        backlog = list(self._inbox) + self._halted_inbox
+        self._inbox.clear()
+        self._halted_inbox = []
+        return backlog
 
     # ------------------------------------------------------------------
     # Security harness hook

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.exceptions import SimulationError
-from repro.netsim.events import Simulator
+from repro.netsim.events import Future, Simulator
 
 
 class TestScheduling:
@@ -128,3 +128,165 @@ class TestRunLimits:
         sim.reset()
         assert sim.now == 0.0
         assert sim.pending() == 0
+
+
+class TestScheduleAtEdgeCases:
+    def test_schedule_at_in_the_past_rejected(self):
+        sim = Simulator(start_time=5.0)
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+
+    def test_schedule_at_the_current_instant_fires(self):
+        sim = Simulator(start_time=5.0)
+        fired = []
+        sim.schedule_at(5.0, fired.append, True)
+        sim.run()
+        assert fired == [True]
+        assert sim.now == 5.0
+
+    def test_schedule_at_after_run_until_advanced_the_clock(self):
+        # run(until=) moves the clock even when no event fired; absolute
+        # scheduling must be relative to the *new* now, not the old one.
+        sim = Simulator()
+        sim.run(until=5.0)
+        assert sim.now == 5.0
+        with pytest.raises(SimulationError):
+            sim.schedule_at(4.0, lambda: None)
+        fired = []
+        sim.schedule_at(6.0, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [6.0]
+
+
+class TestRepeatingEventEdgeCases:
+    def test_zero_interval_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule_repeating(0.0, lambda: True)
+        with pytest.raises(SimulationError):
+            sim.schedule_repeating(-1.0, lambda: True)
+
+    def test_cancel_while_scheduled_suppresses_the_pending_firing(self):
+        sim = Simulator()
+        fires = []
+        repeating = sim.schedule_repeating(1.0, lambda: fires.append(sim.now) or True)
+        assert repeating.scheduled
+        repeating.cancel()
+        assert not repeating.scheduled
+        sim.run()
+        assert fires == []
+
+    def test_start_after_cancel_resumes_the_cycle(self):
+        sim = Simulator()
+        fires = []
+        repeating = sim.schedule_repeating(1.0, lambda: fires.append(sim.now) or len(fires) < 2)
+        repeating.cancel()
+        repeating.start()
+        sim.run()
+        assert fires == [1.0, 2.0]
+        # The callback's falsy return stopped it; start() re-arms again.
+        repeating.start()
+        sim.run(until=3.5)
+        assert fires == [1.0, 2.0, 3.0]
+
+    def test_start_is_idempotent_while_scheduled(self):
+        sim = Simulator()
+        fires = []
+        repeating = sim.schedule_repeating(1.0, lambda: fires.append(sim.now) or False)
+        repeating.start()
+        repeating.start()
+        sim.run()
+        # One queued firing despite the extra start() calls.
+        assert fires == [1.0]
+
+    def test_reschedule_across_run_until_boundary(self):
+        # A firing queued beyond the until= horizon survives the pause
+        # and fires (at its original time) on the next run.
+        sim = Simulator()
+        fires = []
+        repeating = sim.schedule_repeating(1.0, lambda: fires.append(sim.now) or True)
+        sim.run(until=2.5)
+        assert fires == [1.0, 2.0]
+        assert sim.now == 2.5
+        assert repeating.scheduled
+        sim.run(until=4.5)
+        assert fires == [1.0, 2.0, 3.0, 4.0]
+        repeating.cancel()
+        sim.run()
+        assert fires == [1.0, 2.0, 3.0, 4.0]
+
+    def test_cancel_from_inside_the_callback_stops_the_cycle(self):
+        sim = Simulator()
+        fires = []
+        repeating = sim.schedule_repeating(
+            1.0, lambda: fires.append(sim.now) or repeating.cancel() or True
+        )
+        sim.run()
+        # The truthy return asked to continue, but cancel() from inside
+        # the callback wins: _fire re-starts, cancel suppresses it...
+        # the cycle must end either way without firing twice.
+        assert fires == [1.0]
+
+
+class TestFuture:
+    def test_set_result_completes_and_stores_the_value(self):
+        future = Future()
+        assert not future.done
+        future.set_result(42)
+        assert future.done
+        assert future.result() == 42
+
+    def test_result_before_completion_raises(self):
+        with pytest.raises(SimulationError):
+            Future().result()
+
+    def test_double_completion_raises(self):
+        future = Future()
+        future.set_result(1)
+        with pytest.raises(SimulationError):
+            future.set_result(2)
+
+    def test_callbacks_run_synchronously_on_completion(self):
+        future = Future()
+        seen = []
+        future.add_done_callback(seen.append)
+        future.add_done_callback(lambda value: seen.append(value * 2))
+        future.set_result(3)
+        assert seen == [3, 6]
+
+    def test_late_subscriber_runs_immediately(self):
+        future = Future()
+        future.set_result("answer")
+        seen = []
+        future.add_done_callback(seen.append)
+        assert seen == ["answer"]
+
+    def test_gather_preserves_order_and_waits_for_the_last(self):
+        first, second = Future(), Future()
+        results = []
+        Future.gather([first, second]).add_done_callback(results.append)
+        second.set_result("b")
+        assert results == []
+        first.set_result("a")
+        assert results == [["a", "b"]]
+
+    def test_gather_of_nothing_completes_immediately(self):
+        aggregate = Future.gather([])
+        assert aggregate.done
+        assert aggregate.result() == []
+
+    def test_gather_of_already_done_futures(self):
+        done = Future()
+        done.set_result(1)
+        aggregate = Future.gather([done, done])
+        assert aggregate.done
+        assert aggregate.result() == [1, 1]
+
+    def test_completion_from_a_scheduled_event_runs_continuations_at_that_instant(self):
+        sim = Simulator()
+        future = Future()
+        seen = []
+        future.add_done_callback(lambda value: seen.append((sim.now, value)))
+        sim.schedule(2.0, future.set_result, "landed")
+        sim.run()
+        assert seen == [(2.0, "landed")]

@@ -38,12 +38,14 @@ REQUIRED_SECTIONS: dict[str, list[str]] = {
         "## Package dependency order",
         "## Life of a punted flow (multi-hop edition)",
         "## Query engine",
+        "## Decision core",
     ],
     "docs/BENCHMARKS.md": [
         "## `results` entries",
         "### Cluster control plane (PR 3)",
         "### Enforcement fabric (PR 4)",
         "### Query engine (PR 5)",
+        "### Decision core (PR 6)",
         "## `derived` entries",
     ],
     "README.md": [
