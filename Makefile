@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries soak_async docs_check
+.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries soak_async docs_check lint determinism
 
 test:
 	$(PYTHON) -m pytest -q
@@ -26,6 +26,12 @@ soak_async:
 
 docs_check:
 	$(PYTHON) tools/check_docs.py
+
+lint:
+	$(PYTHON) tools/analysis/run_lint.py
+
+determinism:
+	$(PYTHON) -m repro.workloads.determinism
 
 bench-experiments:
 	$(PYTHON) -m pytest benchmarks/bench_*.py --benchmark-only -s

@@ -39,6 +39,7 @@ from repro.workloads.cluster import (  # noqa: E402
     ClusterFailoverChurn,
     ClusterScaleBench,
 )
+from repro.workloads.determinism import DeterminismGate  # noqa: E402
 from repro.workloads.decision_core import (  # noqa: E402
     ASYNC_DEGRADATION_CEILING,
     OVERLAP_SPEEDUP_FLOOR,
@@ -185,7 +186,9 @@ def bench_flow_generator(results: dict) -> None:
         for i in range(32)
     ]
     generator = FlowGenerator(templates, seed=7, zipf_skew=1.1)
-    results["flow_generator_draw_batch_64"] = _timeit(lambda: generator.draw_batch(64))
+    entry = _timeit(lambda: generator.draw_batch(64))
+    entry["seed"] = generator.seed
+    results["flow_generator_draw_batch_64"] = entry
 
     engine = PolicyEngine(default_action="block")
     engine.add_control_file("00", "block all\npass from any to any port 80")
@@ -241,6 +244,11 @@ def bench_decision_core(results: dict) -> None:
     results["soak_async_decisions"] = AsyncChurnSoak().run().as_dict()
 
 
+def bench_determinism(results: dict) -> None:
+    """Determinism gate: double-run both sanitized scenarios, compare trace hashes."""
+    results["determinism_double_run"] = DeterminismGate().as_dict()
+
+
 def bench_queryload(results: dict) -> None:
     """Query engine: hot-server cache speedup + invalidation correctness."""
     report = QueryLoadBench().run()
@@ -268,6 +276,8 @@ def main() -> int:
     bench_queryload(results)
     print("running decision-core overlap bench + async soak ...")
     bench_decision_core(results)
+    print("running determinism double-run gate ...")
+    bench_determinism(results)
 
     derived = {
         "compiled_speedup_2000_rules": round(
@@ -302,6 +312,9 @@ def main() -> int:
             "async_degradation"
         ],
         "async_soak_bounded": results["soak_async_decisions"]["bounded"],
+        "determinism_trace_identical": results["determinism_double_run"][
+            "all_identical"
+        ],
     }
     payload = {
         "command": "python benchmarks/run_benchmarks.py",
@@ -365,6 +378,12 @@ def main() -> int:
         return 1
     if not derived["async_soak_bounded"]:
         print("FAIL: async soak violated its bounds (see soak_async_decisions)")
+        return 1
+    if not derived["determinism_trace_identical"]:
+        print(
+            "FAIL: double-run event traces diverged "
+            "(see determinism_double_run) — the simulation is not deterministic"
+        )
         return 1
     return 0
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Protocol
 
+from repro.exceptions import TopologyError
 from repro.identpp.flowspec import FlowSpec
 from repro.netsim.topology import Topology
 from repro.openflow.actions import DropAction, OutputAction, FloodAction
@@ -121,7 +122,9 @@ class BaselineController(Controller):
             return
         try:
             path = self.topology.shortest_path(source, destination)
-        except Exception:
+        except TopologyError:
+            # No path between the endpoints: nothing to install
+            # downstream.  Non-topology errors propagate.
             return
         match = Match.from_five_tuple(
             flow.src_ip, flow.dst_ip, flow.proto, flow.src_port, flow.dst_port
@@ -144,7 +147,8 @@ class BaselineController(Controller):
             return None
         try:
             path = self.topology.shortest_path(switch, destination)
-        except Exception:
+        except TopologyError:
+            # Unroutable destination: the caller falls back to flooding.
             return None
         if len(path) < 2:
             return None

@@ -40,7 +40,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.audit import AuditLog, DecisionRecord
-from repro.exceptions import ControllerError, PFError
+from repro.exceptions import ControllerError, PFError, TopologyError
 from repro.core.cache import DecisionCache
 from repro.core.interception import InterceptionPolicy
 from repro.core.lifecycle import LifecycleService
@@ -50,6 +50,7 @@ from repro.identpp.engine import QueryEngine
 from repro.identpp.flowspec import FlowSpec
 from repro.identpp.wire import DEFAULT_QUERY_KEYS, IDENT_PP_PORT, IdentQuery, IdentResponse
 from repro.netsim.events import Event, Future
+from repro.netsim.sanitizer import KIND_STALE_CONTINUATION
 from repro.netsim.nodes import Node
 from repro.netsim.statistics import Histogram
 from repro.netsim.topology import Topology
@@ -155,6 +156,7 @@ class SerialDecisionQueue:
                 # exported the flow, or a re-punt started a fresh
                 # pipeline): skip without occupying the loop — a real
                 # queue serves no phantom work.
+                controller._report_stale_continuation(task, where="serial queue")
                 continue
             self._current = task
             service = controller._service_time(task)
@@ -545,6 +547,7 @@ class IdentPPController(Controller):
             # in ``_pending`` for the failover monitor to export.
             return
         if self._inflight.get(task.flow) is not task:
+            self._report_stale_continuation(task, where="answer arrival")
             return
         if self.config.serialize_decisions:
             task.stage = "queued"
@@ -562,6 +565,38 @@ class IdentPPController(Controller):
     def _eval_step(self, task: DecisionTask) -> None:
         """Continuation: the policy-eval slot elapsed; hand over for batching."""
         self._complete_decision(task.flow, task.outcomes, task.arrival)
+
+    # ------------------------------------------------------------------
+    # Sanitizer hooks (silent discards become findings when enabled)
+    # ------------------------------------------------------------------
+
+    def _report_stale(self, flow: FlowSpec, arrival: float, *, where: str) -> None:
+        """File a stale-continuation finding when a sanitizer is attached.
+
+        The discard itself is *correct* — the punt was failed closed,
+        exported by a failover, or superseded by a re-punt — but a
+        scenario that silently races its own deadlines is usually a
+        mis-tuned scenario, so under ``Simulator(sanitize=True)`` each
+        discard is reported instead of vanishing.
+        """
+        sim = self.sim
+        if sim is not None and sim.sanitizer is not None:
+            sim.sanitizer.report(
+                KIND_STALE_CONTINUATION,
+                f"{self.name}: {where} continuation for {flow} "
+                f"(punt generation t={arrival:g}) found its task superseded",
+            )
+
+    def _report_stale_continuation(self, task: DecisionTask, *, where: str) -> None:
+        """Task-object form of :meth:`_report_stale` (adds the stage)."""
+        sim = self.sim
+        if sim is not None and sim.sanitizer is not None:
+            sim.sanitizer.report(
+                KIND_STALE_CONTINUATION,
+                f"{self.name}: {where} continuation for {task.flow} "
+                f"(punt generation t={task.arrival:g}, stage={task.stage}) "
+                f"found its task superseded",
+            )
 
     def _service_time(self, task: DecisionTask) -> float:
         """Return how long ``task`` occupies the serialized loop.
@@ -607,6 +642,7 @@ class IdentPPController(Controller):
             # not mere pending presence — also discards us when the flow
             # was re-punted meanwhile: this decision's query outcomes are
             # stale, and the re-punt runs its own fresh pipeline.
+            self._report_stale(flow, arrival, where="eval completion")
             return
         src_doc = outcomes[0].document if outcomes else None
         dst_doc = outcomes[1].document if len(outcomes) > 1 else None
@@ -629,10 +665,13 @@ class IdentPPController(Controller):
         # again would double-program the datapath — and a resolved-then-
         # re-punted flow must be decided by its own fresh pipeline, not
         # this stale one (the punt arrival identifies the generation).
-        queue = [
-            entry for entry in queue
-            if self._pending_since.get(entry[0]) == entry[4]
-        ]
+        live = []
+        for entry in queue:
+            if self._pending_since.get(entry[0]) == entry[4]:
+                live.append(entry)
+            else:
+                self._report_stale(entry[0], entry[4], where="decision flush")
+        queue = live
         if not queue:
             return
         try:
@@ -968,7 +1007,11 @@ class IdentPPController(Controller):
             return None
         try:
             return self.topology.shortest_path(source, destination)
-        except Exception:
+        except TopologyError:
+            # No path (partition, failed fabric) is an expected topology
+            # answer: the caller falls back to first-hop-only handling.
+            # Anything else — a programming error — must propagate, not
+            # be swallowed as "no path".
             return None
 
     def _release_packet(
@@ -1079,7 +1122,10 @@ class IdentPPController(Controller):
                 if len(path) > 1:
                     out_port = self.topology.egress_port(message.switch, path[1]).number
                     actions = [OutputAction(out_port)]
-            except Exception:
+            except TopologyError:
+                # Unroutable control traffic floods (legacy behaviour);
+                # non-topology errors propagate rather than degrade to a
+                # silent flood.
                 actions = [FloodAction()]
         self.send_packet_out(
             message.switch, actions=actions, buffer_id=message.buffer_id, in_port=message.in_port

@@ -143,26 +143,40 @@ class RSAKeyPair:
         return self.public.verify(message, signature)
 
 
+#: Seed used when a caller supplies neither ``seed`` nor ``rng``.  Key
+#: generation is *always* deterministic — the simulator's repo invariant
+#: (lint rule R2) is that no randomness may come from an unseeded RNG,
+#: because a single OS-entropy draw makes a whole scenario's event trace
+#: unreproducible.
+DEFAULT_KEY_SEED = 0
+
+
 def generate_keypair(
     owner: str = "",
     *,
     bits: int = _DEFAULT_KEY_BITS,
     seed: int | str | None = None,
+    rng: random.Random | None = None,
 ) -> RSAKeyPair:
-    """Generate an RSA key pair.
+    """Generate an RSA key pair, deterministically.
 
     Args:
         owner: Human-readable label ("research", "Secur", "admin", ...).
         bits: Modulus size in bits (default 512 — small, fast, *simulation only*).
-        seed: Optional deterministic seed; the same ``(owner, seed, bits)``
-            always produces the same key pair, which keeps tests and
-            benchmark fixtures stable.
+        seed: Deterministic seed; the same ``(owner, seed, bits)`` always
+            produces the same key pair, which keeps tests and benchmark
+            fixtures stable.  Defaults to :data:`DEFAULT_KEY_SEED` —
+            never to OS entropy, so two runs of any scenario mint the
+            same keys and produce identical event traces.
+        rng: An already-seeded :class:`random.Random` to draw from
+            instead of constructing one from ``seed`` (callers that
+            thread one scenario-wide RNG through every component).
     """
     if bits < 128:
         raise SignatureError(f"RSA modulus too small: {bits} bits")
-    if seed is None:
-        rng = random.Random()
-    else:
+    if rng is None:
+        if seed is None:
+            seed = DEFAULT_KEY_SEED
         rng = random.Random(f"{owner}|{seed}|{bits}")
     half = bits // 2
     while True:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Iterable, Sequence
 
 from repro.crypto.rsa import RSAKeyPair, RSAPublicKey, generate_keypair
+from repro.exceptions import SignatureError
 
 #: Separator used between canonicalised values.  The unit separator
 #: control character cannot appear in PF+=2 values (they are single-line
@@ -56,7 +57,7 @@ def verify_values(
     if isinstance(public_key, str):
         try:
             public_key = RSAPublicKey.from_hex(public_key)
-        except Exception:
+        except SignatureError:
             return False
     if not isinstance(public_key, RSAPublicKey):
         return False

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Callable, Optional
 
-from repro.exceptions import QueryError
+from repro.exceptions import IdentPPError, QueryError
 from repro.hosts.endhost import EndHost
 from repro.hosts.processes import Process
 from repro.identpp.daemon_config import DaemonConfig
@@ -297,7 +297,11 @@ class IdentPPDaemon:
         try:
             query = parse_query_packet(packet)
             response = self.answer(query)
-        except Exception:
+        except (IdentPPError, UnicodeDecodeError):
+            # Malformed or mis-addressed queries off the wire are the
+            # daemon's expected failure class: count and stay silent (a
+            # real identd ignores garbage).  Programming errors propagate
+            # — swallowing them here used to hide real bugs as timeouts.
             self.queries_failed.increment()
             return
         reply = response.to_packet(packet)

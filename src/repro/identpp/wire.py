@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.exceptions import WireFormatError
+from repro.exceptions import PacketError, WireFormatError
 from repro.identpp.flowspec import FlowSpec
 from repro.identpp.keyvalue import ResponseDocument
 from repro.netsim.packet import IP_PROTO_TCP, Packet, proto_name, proto_number
@@ -71,7 +71,7 @@ def _parse_first_line(line: str) -> tuple[int, int, int]:
         proto = proto_number(proto_text.lower())
         src_port = int(src_text)
         dst_port = int(dst_text)
-    except Exception as exc:
+    except (ValueError, PacketError) as exc:
         raise WireFormatError(f"malformed ident++ first line: {line!r}") from exc
     if not (0 <= src_port <= 0xFFFF and 0 <= dst_port <= 0xFFFF):
         raise WireFormatError(f"ident++ first line port out of range: {line!r}")

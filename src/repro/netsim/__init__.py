@@ -38,6 +38,13 @@ from repro.netsim.fabrics import (
 )
 from repro.netsim.links import Link
 from repro.netsim.nodes import Node, Port
+from repro.netsim.sanitizer import (
+    EventTraceHasher,
+    SanitizerReport,
+    ShadowReplayReport,
+    SimulationSanitizer,
+    shadow_replay,
+)
 from repro.netsim.packet import (
     ETH_TYPE_ARP,
     ETH_TYPE_IP,
@@ -71,7 +78,12 @@ __all__ = [
     "IP_PROTO_UDP",
     "Packet",
     "Counter",
+    "EventTraceHasher",
     "Histogram",
+    "SanitizerReport",
+    "ShadowReplayReport",
+    "SimulationSanitizer",
+    "shadow_replay",
     "StatsRegistry",
     "Topology",
     "PacketTrace",

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from repro.exceptions import SimulationError
+from repro.netsim.sanitizer import SimulationSanitizer
 
 
 @dataclass(order=True)
@@ -194,14 +195,37 @@ class Simulator:
     Time is measured in seconds (floats).  The simulator never advances
     wall-clock time; :meth:`run` drains the event queue in timestamp
     order until it is empty or a time/event limit is hit.
+
+    With ``sanitize=True`` a :class:`~repro.netsim.sanitizer.
+    SimulationSanitizer` instruments the loop: every fired event is
+    folded into a deterministic trace hash, same-instant event groups
+    are counted, and library code files findings (stale continuations,
+    order divergences) on :attr:`sanitizer` instead of discarding them
+    silently.  ``perturb_ties=True`` serves same-instant ties in
+    *reverse* schedule order — the shadow half of
+    :func:`~repro.netsim.sanitizer.shadow_replay`'s ordering-race
+    detector; never enable it on a run whose results you keep.
     """
 
-    def __init__(self, start_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        start_time: float = 0.0,
+        *,
+        sanitize: bool = False,
+        perturb_ties: bool = False,
+    ) -> None:
         self._now = float(start_time)
-        self._queue: list[Event] = []
+        # Heap of (time, tie_key, event): the explicit tie key lets the
+        # sanitizer's shadow replay flip same-instant service order
+        # without touching Event's own (time, seq) ordering contract.
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = itertools.count()
         self._events_processed = 0
         self._running = False
+        self._tie_sign = -1 if perturb_ties else 1
+        self.sanitizer: Optional[SimulationSanitizer] = (
+            SimulationSanitizer(self) if sanitize else None
+        )
 
     # ------------------------------------------------------------------
     # Clock
@@ -216,6 +240,25 @@ class Simulator:
     def events_processed(self) -> int:
         """Return how many events have fired so far."""
         return self._events_processed
+
+    @property
+    def sanitize(self) -> bool:
+        """Return ``True`` while a sanitizer is attached."""
+        return self.sanitizer is not None
+
+    def enable_sanitizer(self, *, perturb_ties: bool = False) -> SimulationSanitizer:
+        """Attach a sanitizer to an already-built simulator.
+
+        Convenience for retrofitting networks that construct their own
+        simulator (``net.topology.sim.enable_sanitizer()``); the trace
+        hash covers events fired from this point on.  Idempotent: an
+        already-attached sanitizer is returned unchanged (though the tie
+        order follows the *latest* ``perturb_ties`` requested).
+        """
+        self._tie_sign = -1 if perturb_ties else 1
+        if self.sanitizer is None:
+            self.sanitizer = SimulationSanitizer(self)
+        return self.sanitizer
 
     def pending(self) -> int:
         """Return the number of events still queued (including cancelled ones)."""
@@ -248,7 +291,7 @@ class Simulator:
             kwargs=kwargs,
             label=label,
         )
-        heapq.heappush(self._queue, event)
+        heapq.heappush(self._queue, (event.time, self._tie_sign * event.seq, event))
         return event
 
     def schedule_at(
@@ -292,13 +335,15 @@ class Simulator:
         skipped silently.
         """
         while self._queue:
-            event = heapq.heappop(self._queue)
+            _, _, event = heapq.heappop(self._queue)
             if event.cancelled:
                 continue
             if event.time < self._now:
                 raise SimulationError("event queue corrupted: time went backwards")
             self._now = event.time
             self._events_processed += 1
+            if self.sanitizer is not None:
+                self.sanitizer.on_event(event)
             event.callback(*event.args, **event.kwargs)
             return event
         return None
@@ -334,9 +379,9 @@ class Simulator:
 
     def _peek(self) -> Optional[Event]:
         """Return the earliest non-cancelled event without firing it."""
-        while self._queue and self._queue[0].cancelled:
+        while self._queue and self._queue[0][2].cancelled:
             heapq.heappop(self._queue)
-        return self._queue[0] if self._queue else None
+        return self._queue[0][2] if self._queue else None
 
     def reset(self) -> None:
         """Clear the queue and rewind the clock to zero."""

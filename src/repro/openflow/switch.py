@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterable, Optional, Sequence
 
-from repro.exceptions import OpenFlowError
+from repro.exceptions import OpenFlowError, PortError
 from repro.netsim.nodes import Node, Port
 from repro.netsim.packet import Packet
 from repro.netsim.statistics import Counter
@@ -280,7 +280,9 @@ class OpenFlowSwitch(Node):
         if in_port is not None:
             try:
                 exclude = self.port(in_port)
-            except Exception:
+            except PortError:
+                # An unknown ingress port (entry installed before a
+                # rewire) just means the flood cannot exclude it.
                 exclude = None
         for action in actions:
             if isinstance(action, DropAction):

@@ -1,0 +1,258 @@
+"""Determinism regression: the double-run event-trace hash gate.
+
+The simulator's contract is bit-for-bit reproducibility: same scenario,
+same seed, same event trace.  Every perf number in
+``BENCH_results.json`` rests on that contract — if two runs of the same
+workload can diverge, a "speedup" may just be a lucky interleaving.
+This module makes the contract a *gate*: the queryload and
+decision-core bench scenarios each run **twice** with the same seed
+under ``Simulator(sanitize=True)``, and the runs must produce identical
+event-trace hashes (see
+:class:`repro.netsim.sanitizer.EventTraceHasher`) and identical event
+counts.  Any wall-clock read, module-global RNG draw or
+iteration-order leak breaks the hash equality and fails ``make bench``.
+
+Run standalone::
+
+    python -m repro.workloads.determinism
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.controller import ControllerConfig
+from repro.core.network import HostSpec, IdentPPNetwork
+from repro.workloads.decision_core import DECISION_POLICY
+from repro.workloads.generators import FlowGenerator, FlowTemplate
+from repro.workloads.queryload import QUERYLOAD_POLICY
+
+#: The one seed both double-runs use; recorded next to the trace hashes
+#: in ``BENCH_results.json`` so the entry is reproducible by itself.
+DETERMINISM_SEED = 2009
+
+
+@dataclass(frozen=True)
+class ScenarioTrace:
+    """What one sanitized run of a scenario produced."""
+
+    trace_hash: str
+    events: int
+    decided: int
+    max_same_instant: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "trace_hash": self.trace_hash,
+            "events": self.events,
+            "decided": self.decided,
+            "max_same_instant": self.max_same_instant,
+        }
+
+
+@dataclass(frozen=True)
+class DeterminismReport:
+    """Two runs of one scenario, and whether they were identical."""
+
+    scenario: str
+    seed: int
+    first: ScenarioTrace
+    second: ScenarioTrace
+
+    @property
+    def identical(self) -> bool:
+        """Gate: both runs produced the same trace hash and event count."""
+        return (
+            self.first.trace_hash == self.second.trace_hash
+            and self.first.events == self.second.events
+        )
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "first": self.first.as_dict(),
+            "second": self.second.as_dict(),
+            "identical": self.identical,
+        }
+
+
+def _templates(clients: int, *, dst_host: str, dst_ip: str, app: str) -> list[FlowTemplate]:
+    return [
+        FlowTemplate(
+            src_host=f"client{index}",
+            dst_host=dst_host,
+            src_ip=f"192.168.0.{10 + index}",
+            dst_ip=dst_ip,
+            dst_port=80,
+            app_name=app,
+            user_name="alice",
+        )
+        for index in range(clients)
+    ]
+
+
+def _drive(
+    net: IdentPPNetwork,
+    templates: list[FlowTemplate],
+    *,
+    seed: int,
+    flows: int,
+) -> ScenarioTrace:
+    """Inject a seeded flow schedule into ``net`` and run it sanitized.
+
+    Arrival times are jittered from the same seeded RNG that picks the
+    source client, so repeated same-instant collisions (the case the
+    sanitizer's tie tracking watches) occur naturally alongside spread
+    arrivals.
+    """
+    sim = net.topology.sim
+    sim.enable_sanitizer()
+    rng = random.Random(seed)
+    generator = FlowGenerator(templates, seed=seed, zipf_skew=1.1)
+
+    def inject(template: FlowTemplate) -> None:
+        net.host(template.src_host).open_flow(
+            template.app_name, template.user_name, template.dst_ip, template.dst_port
+        )
+
+    at = 0.0
+    for template, _ in generator.draw_batch(flows):
+        # Quantised arrivals: distinct instants most of the time, exact
+        # same-instant collisions whenever two draws land on one slot.
+        at += rng.randrange(0, 4) * 0.0005
+        sim.schedule(at, inject, template)
+    net.run()
+    sanitizer = sim.sanitizer
+    assert sanitizer is not None
+    decided = len([r for r in net.controller.audit.records() if not r.cached])
+    return ScenarioTrace(
+        trace_hash=sanitizer.trace_hash,
+        events=sim.events_processed,
+        decided=decided,
+        max_same_instant=sanitizer.max_same_instant,
+    )
+
+
+def decision_core_scenario(seed: int = DETERMINISM_SEED, *, flows: int = 80) -> ScenarioTrace:
+    """The decision-core bench topology: async core, query/eval overlap."""
+    clients = 4
+    net = IdentPPNetwork(
+        "determinism-decision-core",
+        link_latency=50e-6,
+        controller_config=ControllerConfig(
+            decision_core="async",
+            serialize_decisions=True,
+            nonblocking_inbox=True,
+            policy_eval_delay=200e-6,
+            pending_deadline=120.0,
+        ),
+        policy_default_action="block",
+    )
+    edge = net.add_switch("sw-edge")
+    core = net.add_switch("sw-core")
+    net.connect(edge, core)
+    for index in range(clients):
+        net.add_host(
+            HostSpec(
+                name=f"client{index}",
+                ip=f"192.168.0.{10 + index}",
+                users={"alice": ("users", "staff")},
+            ),
+            switch=edge,
+        )
+    server = net.add_host(HostSpec(name="server", ip="192.168.1.1"), switch=core)
+    server.run_server("httpd", "root", 80)
+    net.set_policy({"00-decision.control": DECISION_POLICY})
+    for daemon in net.daemons.values():
+        daemon.processing_delay = 500e-6
+    templates = _templates(clients, dst_host="server", dst_ip="192.168.1.1", app="http")
+    return _drive(net, templates, seed=seed, flows=flows)
+
+
+def queryload_scenario(seed: int = DETERMINISM_SEED, *, flows: int = 80) -> ScenarioTrace:
+    """The queryload bench topology: hot server behind the query cache."""
+    clients = 4
+    net = IdentPPNetwork(
+        "determinism-queryload",
+        link_latency=50e-6,
+        controller_config=ControllerConfig(query_cache_ttl=30.0),
+        policy_default_action="block",
+    )
+    edge = net.add_switch("sw-edge")
+    core = net.add_switch("sw-core")
+    net.connect(edge, core)
+    for index in range(clients):
+        net.add_host(
+            HostSpec(
+                name=f"client{index}",
+                ip=f"192.168.0.{10 + index}",
+                users={"alice": ("users", "staff")},
+            ),
+            switch=edge,
+        )
+    server = net.add_host(HostSpec(name="hot-server", ip="192.168.1.1"), switch=core)
+    server.run_server("httpd", "root", 80)
+    net.set_policy({"00-queryload.control": QUERYLOAD_POLICY})
+    for daemon in net.daemons.values():
+        daemon.processing_delay = 500e-6
+    templates = _templates(clients, dst_host="hot-server", dst_ip="192.168.1.1", app="http")
+    return _drive(net, templates, seed=seed, flows=flows)
+
+
+#: The scenarios the gate double-runs; names key the BENCH entry.
+SCENARIOS: dict[str, Callable[[int], ScenarioTrace]] = {
+    "decision_core": decision_core_scenario,
+    "queryload": queryload_scenario,
+}
+
+
+class DeterminismGate:
+    """Double-run every scenario and compare event-trace hashes."""
+
+    def __init__(self, seed: int = DETERMINISM_SEED) -> None:
+        self.seed = seed
+
+    def run(self) -> dict[str, DeterminismReport]:
+        reports: dict[str, DeterminismReport] = {}
+        for name, scenario in SCENARIOS.items():
+            reports[name] = DeterminismReport(
+                scenario=name,
+                seed=self.seed,
+                first=scenario(self.seed),
+                second=scenario(self.seed),
+            )
+        return reports
+
+    def as_dict(self) -> dict[str, object]:
+        """Run the gate and return the JSON summary for ``BENCH_results.json``."""
+        reports = self.run()
+        payload: dict[str, object] = {
+            name: report.as_dict() for name, report in reports.items()
+        }
+        payload["seed"] = self.seed
+        payload["all_identical"] = all(report.identical for report in reports.values())
+        return payload
+
+
+def main() -> int:
+    """Standalone entry point: run the gate, print, exit non-zero on divergence."""
+    gate = DeterminismGate()
+    ok = True
+    for name, report in gate.run().items():
+        status = "identical" if report.identical else "DIVERGED"
+        print(
+            f"  {name}: {status}  seed={report.seed}  "
+            f"events={report.first.events}/{report.second.events}  "
+            f"hash={report.first.trace_hash[:16]}../{report.second.trace_hash[:16]}.."
+        )
+        ok = ok and report.identical
+    if not ok:
+        print("FAIL: double-run event traces diverged — the simulation is not deterministic")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

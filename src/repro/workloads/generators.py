@@ -61,11 +61,17 @@ class FlowGenerator:
         seed: int = 0,
         zipf_skew: Optional[float] = None,
         ephemeral_base: int = 40000,
+        rng: Optional[random.Random] = None,
     ) -> None:
         if not templates:
             raise WorkloadError("FlowGenerator needs at least one template")
         self.templates = list(templates)
-        self._rng = random.Random(seed)
+        #: The seed behind every draw this generator makes, surfaced so
+        #: benchmark reports can record it next to their results (a
+        #: BENCH_results.json entry without its seed is unreproducible).
+        #: ``None`` when an externally-seeded ``rng`` was injected.
+        self.seed: Optional[int] = None if rng is not None else seed
+        self._rng = rng if rng is not None else random.Random(seed)
         self._weights = zipf_weights(len(self.templates), zipf_skew) if zipf_skew else None
         self._next_port = ephemeral_base
         self.draws = 0

@@ -1,0 +1,146 @@
+"""Fixture-locked tests for the repo-invariant lint (``tools/analysis``).
+
+Every rule is pinned to its good/bad fixture pair under
+``tools/analysis/fixtures/``, the suppression machinery is exercised
+directly, and the live ``src/`` + ``tools/`` trees are asserted clean —
+the same invocation ``make lint`` runs in CI.
+"""
+
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT) not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT))
+
+from tools.analysis import analyze_paths, analyze_source
+from tools.analysis import run_lint
+from tools.analysis.rules import ALL_RULES, rules_by_id
+
+FIXTURES = REPO_ROOT / "tools" / "analysis" / "fixtures"
+RULE_IDS = [rule.rule_id for rule in ALL_RULES]
+
+
+def lint_fixture(name: str):
+    """Lint one fixture file under the full rule set."""
+    return analyze_paths([FIXTURES / name], ALL_RULES, root=REPO_ROOT)
+
+
+class TestFixtureCorpus:
+    """Each rule flags its bad fixture and passes its good fixture."""
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_bad_fixture_is_flagged(self, rule_id):
+        violations = lint_fixture(f"{rule_id.lower()}_bad.py")
+        assert violations, f"{rule_id} bad fixture produced no violations"
+        assert {v.rule_id for v in violations} == {rule_id}
+
+    @pytest.mark.parametrize("rule_id", RULE_IDS)
+    def test_good_fixture_is_clean(self, rule_id):
+        assert lint_fixture(f"{rule_id.lower()}_good.py") == []
+
+    def test_every_rule_has_both_fixtures(self):
+        for rule_id in RULE_IDS:
+            for kind in ("bad", "good"):
+                assert (FIXTURES / f"{rule_id.lower()}_{kind}.py").is_file()
+
+    def test_violations_carry_location_and_render(self):
+        violation = lint_fixture("r1_bad.py")[0]
+        assert violation.path == "tools/analysis/fixtures/r1_bad.py"
+        assert violation.line > 0
+        assert str(violation).startswith(f"{violation.path}:{violation.line}: R1 ")
+
+
+class TestRuleSemantics:
+    """Targeted behaviours beyond the plain fixture pass/fail."""
+
+    def test_r1_workload_allowlist(self):
+        source = "import time\n\ndef t():\n    return time.perf_counter()\n"
+        rules = [rules_by_id()["R1"]]
+        assert analyze_source(source, rules, rel_path="src/repro/netsim/x.py")
+        assert analyze_source(source, rules, rel_path="benchmarks/x.py") == []
+        assert (
+            analyze_source(source, rules, rel_path="src/repro/workloads/x.py") == []
+        )
+
+    def test_r2_seeded_instance_is_clean(self):
+        rules = [rules_by_id()["R2"]]
+        assert analyze_source("import random\nrng = random.Random(7)\n", rules) == []
+        assert analyze_source("import random\nrng = random.Random()\n", rules)
+
+    def test_r3_tag_requires_a_reason(self):
+        rules = [rules_by_id()["R3"]]
+        tagged = (
+            "try:\n    x()\n"
+            "except Exception:  # fail-open-ok: advisory metrics only\n    pass\n"
+        )
+        bare_tag = "try:\n    x()\nexcept Exception:  # fail-open-ok:\n    pass\n"
+        assert analyze_source(tagged, rules) == []
+        assert analyze_source(bare_tag, rules)
+
+    def test_r3_reraise_and_audit_paths_are_fail_closed(self):
+        rules = [rules_by_id()["R3"]]
+        reraise = "try:\n    x()\nexcept Exception:\n    cleanup()\n    raise\n"
+        audited = "try:\n    x()\nexcept Exception:\n    audit.record_fail_closed('x')\n"
+        assert analyze_source(reraise, rules) == []
+        assert analyze_source(audited, rules) == []
+
+    def test_r4_flags_lambda_and_method_callbacks(self):
+        violations = lint_fixture("r4_bad.py")
+        flagged_lines = {v.line for v in violations}
+        assert len(flagged_lines) >= 3  # nested def, lambda, method body
+
+    def test_r5_named_counter_is_clean(self):
+        rules = [rules_by_id()["R5"]]
+        assert analyze_source("c = Counter(name='served')\n", rules) == []
+        assert analyze_source("c = Counter()\n", rules)
+
+
+class TestSuppression:
+    def test_inline_disable_suppresses_only_named_rule(self):
+        flagged = "import time\nnow = time.time()\n"
+        suppressed = "import time\nnow = time.time()  # lint: disable=R1\n"
+        wrong_rule = "import time\nnow = time.time()  # lint: disable=R2\n"
+        assert analyze_source(flagged, ALL_RULES)
+        assert analyze_source(suppressed, ALL_RULES) == []
+        assert analyze_source(wrong_rule, ALL_RULES)
+
+    def test_inline_disable_accepts_a_list(self):
+        source = (
+            "import time\nimport random\n"
+            "x = time.time() + random.random()  # lint: disable=R1,R2\n"
+        )
+        assert analyze_source(source, ALL_RULES) == []
+
+
+class TestRunLint:
+    """The ``make lint`` entry point's exit-code contract."""
+
+    def test_live_tree_is_clean(self):
+        assert run_lint.main([]) == 0
+
+    def test_seeded_violations_fail_the_run(self, monkeypatch):
+        # The fixture corpus *is* a tree seeded with violations; with the
+        # exclusion lifted the run must exit non-zero.
+        monkeypatch.setattr(run_lint, "EXCLUDED_PREFIXES", ())
+        assert run_lint.main([str(FIXTURES)]) == 1
+
+    def test_disable_switches_a_rule_off(self, monkeypatch):
+        monkeypatch.setattr(run_lint, "EXCLUDED_PREFIXES", ())
+        bad = str(FIXTURES / "r1_bad.py")
+        assert run_lint.main([bad]) == 1
+        assert run_lint.main([bad, "--disable", "R1"]) == 0
+
+    def test_unknown_rule_id_is_an_error(self):
+        assert run_lint.main(["--disable", "R99"]) == 2
+
+    def test_missing_path_is_an_error(self):
+        assert run_lint.main(["no/such/dir"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert run_lint.main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in RULE_IDS:
+            assert rule_id in out

@@ -1,0 +1,1 @@
+"""Repo tooling (docs checker, static-analysis lint) — not shipped code."""

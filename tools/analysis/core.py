@@ -1,0 +1,153 @@
+"""Lint engine shared by every rule: parsing, suppression, reporting.
+
+Rules are small classes with a ``rule_id`` and a ``check(module)``
+method returning :class:`Violation` objects; this module owns everything
+around them — parsing each file once into a :class:`ParsedModule`,
+collecting inline suppression comments, walking directory trees, and
+ordering the combined report.
+
+Suppression syntax (documented in ``docs/ANALYSIS.md``):
+
+* ``# lint: disable=R2`` on the offending line suppresses that rule
+  there (comma-separate several ids: ``# lint: disable=R1,R2``);
+* rule R3 additionally honours its own ``# fail-open-ok: <reason>``
+  justification tag (on the ``except`` line or the line above);
+* whole rules can be switched off per run with ``run_lint.py
+  --disable R4``.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Protocol, Sequence
+
+#: Inline per-line suppression: ``# lint: disable=R1[,R2...]``
+SUPPRESS_RE = re.compile(r"#\s*lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule_id} {self.message}"
+
+    @property
+    def sort_key(self) -> tuple[str, int, str]:
+        return (self.path, self.line, self.rule_id)
+
+
+@dataclass
+class ParsedModule:
+    """One source file, parsed once and shared by every rule."""
+
+    path: Path
+    #: Repo-relative posix path ("src/repro/core/controller.py") —
+    #: what allowlists match against and what reports print.
+    rel_path: str
+    tree: ast.Module
+    lines: list[str] = field(default_factory=list)
+
+    def line_text(self, line: int) -> str:
+        """Return the 1-indexed source line ('' when out of range)."""
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1]
+        return ""
+
+    def suppressed_rules(self, line: int) -> set[str]:
+        """Return the rule ids inline-suppressed on a 1-indexed line."""
+        match = SUPPRESS_RE.search(self.line_text(line))
+        if not match:
+            return set()
+        return {part.strip().upper() for part in match.group(1).split(",") if part.strip()}
+
+    def violation(self, rule_id: str, node: ast.AST | int, message: str) -> Violation:
+        """Build a :class:`Violation` at an AST node (or explicit line)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 0)
+        return Violation(rule_id=rule_id, path=self.rel_path, line=line, message=message)
+
+
+class LintRule(Protocol):
+    """What every rule module exports (duck-typed; see ``rules/``)."""
+
+    rule_id: str
+    title: str
+
+    def check(self, module: ParsedModule) -> list[Violation]:
+        """Return every violation of this rule in one parsed module."""
+        ...  # pragma: no cover - protocol stub
+
+
+def parse_module(path: Path, root: Path) -> ParsedModule:
+    """Parse one file into a :class:`ParsedModule` (syntax errors raise)."""
+    source = path.read_text(encoding="utf-8")
+    return ParsedModule(
+        path=path,
+        rel_path=path.resolve().relative_to(root.resolve()).as_posix(),
+        tree=ast.parse(source, filename=str(path)),
+        lines=source.splitlines(),
+    )
+
+
+def analyze_module(module: ParsedModule, rules: Sequence[LintRule]) -> list[Violation]:
+    """Run every rule over one parsed module, honouring inline suppression."""
+    found: list[Violation] = []
+    for rule in rules:
+        for violation in rule.check(module):
+            if rule.rule_id in module.suppressed_rules(violation.line):
+                continue
+            found.append(violation)
+    return found
+
+
+def analyze_source(
+    source: str,
+    rules: Sequence[LintRule],
+    *,
+    rel_path: str = "<string>",
+) -> list[Violation]:
+    """Lint a source string (the fixture tests drive rules through this).
+
+    ``rel_path`` stands in for the repo-relative path, so path-gated
+    rules (R1's workload allowlist) can be exercised without files.
+    """
+    module = ParsedModule(
+        path=Path(rel_path),
+        rel_path=rel_path,
+        tree=ast.parse(source),
+        lines=source.splitlines(),
+    )
+    return analyze_module(module, rules)
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``*.py`` files."""
+    files: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return sorted(files)
+
+
+def analyze_paths(
+    paths: Iterable[Path],
+    rules: Sequence[LintRule],
+    *,
+    root: Path,
+) -> list[Violation]:
+    """Lint every python file under ``paths``; report repo-relative."""
+    violations: list[Violation] = []
+    for file_path in iter_python_files(paths):
+        module = parse_module(file_path, root)
+        violations.extend(analyze_module(module, rules))
+    return sorted(violations, key=lambda violation: violation.sort_key)

@@ -1,0 +1,13 @@
+"""R1 fixture (bad): simulation code reading the host clock."""
+
+import time
+from datetime import datetime
+
+
+def expire_stale(entries):
+    # Wall-clock read inside simulation logic: two runs see different
+    # nows, so expiry decisions (and the event trace) diverge.
+    now = time.time()
+    started = time.perf_counter()
+    stamp = datetime.now()
+    return [entry for entry in entries if entry.deadline > now], started, stamp

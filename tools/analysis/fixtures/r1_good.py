@@ -1,0 +1,10 @@
+"""R1 fixture (good): timestamps come from the simulator's virtual clock."""
+
+
+def expire_stale(sim, entries):
+    now = sim.now
+    return [entry for entry in entries if entry.deadline > now]
+
+
+def schedule_sweep(sim, service):
+    sim.schedule_repeating(1.0, service.sweep, label="lifecycle")

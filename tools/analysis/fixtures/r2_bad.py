@@ -1,0 +1,23 @@
+"""R2 fixture (bad): module-global and unseeded randomness."""
+
+import random
+from random import choice  # module-global RNG laundered through an import
+
+
+def draw_jitter():
+    # Module-global draws: any other import or library call perturbs the
+    # shared state, so two runs of the same scenario diverge.
+    return random.random() * 0.5
+
+
+def pick_host(hosts):
+    return choice(hosts)
+
+
+def make_rng():
+    # Unseeded: draws OS entropy, never reproducible.
+    return random.Random()
+
+
+def reseed_global():
+    random.seed(42)

@@ -1,0 +1,18 @@
+"""R2 fixture (good): seeded, injected RNG threaded through the component."""
+
+import random
+from random import Random
+from typing import Optional
+
+
+class JitterSource:
+    def __init__(self, seed: int = 0, rng: Optional[random.Random] = None) -> None:
+        self.seed = None if rng is not None else seed
+        self._rng = rng if rng is not None else random.Random(seed)
+
+    def draw(self) -> float:
+        return self._rng.random() * 0.5
+
+
+def derived_rng(owner: str, seed: int) -> Random:
+    return Random(f"{owner}|{seed}")

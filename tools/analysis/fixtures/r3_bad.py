@@ -1,0 +1,22 @@
+"""R3 fixture (bad): broad exception handlers that fail open silently."""
+
+
+def lookup(table, key):
+    try:
+        return table[key]
+    except Exception:
+        return None
+
+
+def forward(switch, packet):
+    try:
+        switch.enqueue(packet)
+    except:  # noqa: E722
+        pass
+
+
+def verify(sig, payload):
+    try:
+        return sig.check(payload)
+    except (ValueError, Exception):
+        return True

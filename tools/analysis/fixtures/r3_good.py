@@ -1,0 +1,37 @@
+"""R3 fixture (good): narrow handlers, fail-closed routing, justified tags."""
+
+
+class TopologyError(Exception):
+    pass
+
+
+def lookup(table, key):
+    try:
+        return table[key]
+    except KeyError:
+        return None
+
+
+def forward(controller, switch, packet):
+    try:
+        switch.enqueue(packet)
+    except Exception:
+        # Broad, but routed through the fail-closed audit path: the
+        # packet is dropped and the drop is recorded.
+        controller.audit.record_fail_closed("enqueue", packet)
+        raise
+
+
+def best_effort_metrics(sink, sample):
+    try:
+        sink.push(sample)
+    except Exception:  # fail-open-ok: metrics export is advisory; losing a sample never affects decisions
+        pass
+
+
+def degrade(cache, key):
+    try:
+        return cache[key]
+    # fail-open-ok: cache miss fallback recomputes from authoritative state
+    except Exception:
+        return None

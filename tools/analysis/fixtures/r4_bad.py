@@ -1,0 +1,28 @@
+"""R4 fixture (bad): event callbacks that re-enter the simulator or block."""
+
+import time
+
+
+def drain(sim, queue):
+    def on_fire():
+        # Re-entering Simulator.run from inside a callback corrupts the
+        # event loop (the outer run is already draining the heap).
+        sim.run()
+
+    sim.schedule(1.0, on_fire, label="drain")
+
+
+def poll(sim, daemon):
+    sim.schedule(0.5, lambda: time.sleep(0.1), label="poll")
+
+
+class Sweeper:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def _tick(self):
+        time.sleep(0.01)
+        self.sim.run(until=self.sim.now + 1.0)
+
+    def start(self):
+        self.sim.schedule_repeating(1.0, self._tick, label="sweep")

@@ -1,0 +1,25 @@
+"""R4 fixture (good): callbacks only schedule further work, never block."""
+
+
+def drain(sim, queue):
+    def on_fire():
+        item = queue.pop()
+        if queue:
+            sim.schedule(1.0, on_fire, label="drain")
+        return item
+
+    sim.schedule(1.0, on_fire, label="drain")
+
+
+class Sweeper:
+    def __init__(self, sim):
+        self.sim = sim
+
+    def _tick(self):
+        self.sim.schedule(0.5, self._flush, label="flush")
+
+    def _flush(self):
+        pass
+
+    def start(self):
+        self.sim.schedule_repeating(1.0, self._tick, label="sweep")

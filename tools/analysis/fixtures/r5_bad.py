@@ -1,0 +1,23 @@
+"""R5 fixture (bad): mutable defaults and anonymous (unregistered) counters."""
+
+from repro.netsim.statistics import Counter
+
+
+def collect(samples=[]):
+    samples.append(1)
+    return samples
+
+
+def configure(overrides={}, tags=set()):
+    return overrides, tags
+
+
+def tally(events, seen=list()):
+    seen.extend(events)
+    return seen
+
+
+def make_counter():
+    # Anonymous counter: increments are invisible to StatsRegistry
+    # snapshots, so the work it tallies never reaches BENCH reports.
+    return Counter()

@@ -1,0 +1,20 @@
+"""R5 fixture (good): None-sentinel defaults and registered counters."""
+
+from typing import Optional
+
+from repro.netsim.statistics import Counter
+
+
+def collect(samples: Optional[list] = None):
+    if samples is None:
+        samples = []
+    samples.append(1)
+    return samples
+
+
+def configure(overrides: Optional[dict] = None, tags: Optional[set] = None):
+    return overrides or {}, tags or set()
+
+
+def make_counter():
+    return Counter(name="queries_served")

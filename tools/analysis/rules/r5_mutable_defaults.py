@@ -1,0 +1,80 @@
+"""R5 — no mutable default arguments; no anonymous counters.
+
+Two small shapes with outsized blast radius in a long-lived simulation
+process:
+
+* **Mutable default arguments** (``def f(x=[])``) — the default is
+  created once at ``def`` time and shared across every call *and every
+  scenario in the process*, so state leaks between supposedly
+  independent runs: exactly the cross-run contamination the determinism
+  gates exist to catch.  Use ``None`` and materialise inside.
+* **Anonymous counters** — a ``Counter()`` constructed without a name
+  increments fine but is invisible to ``StatsRegistry`` snapshots and
+  benchmark reports (they key on ``counter.name``), so the measurement
+  silently vanishes from ``BENCH_results.json``.  Every counter carries
+  a name; registry-managed ones get it from ``registry.counter(name)``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analysis.core import ParsedModule, Violation
+
+#: Constructor calls that build a fresh mutable container.
+MUTABLE_FACTORIES = {"list", "dict", "set"}
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in MUTABLE_FACTORIES
+    return False
+
+
+class MutableDefaultsRule:
+    """Flag mutable defaults and unnamed Counter construction."""
+
+    rule_id = "R5"
+    title = "no mutable default args; counters must be named/registered"
+
+    def check(self, module: ParsedModule) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                defaults = list(node.args.defaults) + [
+                    default for default in node.args.kw_defaults if default is not None
+                ]
+                for default in defaults:
+                    if _is_mutable_default(default):
+                        name = getattr(node, "name", "<lambda>")
+                        violations.append(
+                            module.violation(
+                                self.rule_id,
+                                default,
+                                f"mutable default argument in `{name}` is shared "
+                                f"across calls and scenarios — default to None "
+                                f"and materialise inside",
+                            )
+                        )
+            elif isinstance(node, ast.Call):
+                func = node.func
+                is_counter = (
+                    isinstance(func, ast.Name) and func.id == "Counter"
+                ) or (
+                    isinstance(func, ast.Attribute) and func.attr == "Counter"
+                )
+                if is_counter and not node.args and not any(
+                    keyword.arg == "name" for keyword in node.keywords
+                ):
+                    violations.append(
+                        module.violation(
+                            self.rule_id,
+                            node,
+                            "`Counter()` without a name increments invisibly — "
+                            "snapshots and BENCH_results.json key on the name; "
+                            "construct it named (or via registry.counter(name))",
+                        )
+                    )
+        return violations

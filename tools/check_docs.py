@@ -46,13 +46,26 @@ REQUIRED_SECTIONS: dict[str, list[str]] = {
         "### Enforcement fabric (PR 4)",
         "### Query engine (PR 5)",
         "### Decision core (PR 6)",
+        "### Determinism gate (PR 7)",
         "## `derived` entries",
+    ],
+    "docs/ANALYSIS.md": [
+        "## Running the lint",
+        "## Rules",
+        "### R1 — no wall-clock reads in simulation code",
+        "### R2 — no module-global randomness",
+        "### R3 — no silent broad exception handlers",
+        "### R4 — event callbacks must not re-enter the loop or block",
+        "### R5 — no mutable defaults, no anonymous counters",
+        "## Suppression",
+        "## The runtime sanitizer",
     ],
     "README.md": [
         "## Performance architecture",
         "## State lifecycle",
         "## Cluster control plane",
         "## Query engine",
+        "## Determinism and analysis",
     ],
 }
 
