@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries soak_async docs_check lint determinism
+.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries soak_async soak_telemetry docs_check lint determinism
 
 test:
 	$(PYTHON) -m pytest -q
@@ -23,6 +23,9 @@ soak_queries:
 
 soak_async:
 	$(PYTHON) -m repro.workloads.decision_core
+
+soak_telemetry:
+	$(PYTHON) -m repro.workloads.telemetry
 
 docs_check:
 	$(PYTHON) tools/check_docs.py

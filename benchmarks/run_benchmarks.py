@@ -56,6 +56,11 @@ from repro.workloads.queryload import (  # noqa: E402
     QUERY_SPEEDUP_FLOOR,
     QueryLoadBench,
 )
+from repro.workloads.telemetry import (  # noqa: E402
+    TELEMETRY_OVERHEAD_CEILING,
+    ConfickerTelemetryBench,
+    TelemetryOverheadBench,
+)
 
 RESULTS_PATH = os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_results.json")
 
@@ -249,6 +254,12 @@ def bench_determinism(results: dict) -> None:
     results["determinism_double_run"] = DeterminismGate().as_dict()
 
 
+def bench_telemetry(results: dict) -> None:
+    """Telemetry plane: outbreak detection by telemetry alone + sampling cost."""
+    results["telemetry_conficker_detection"] = ConfickerTelemetryBench().run().as_dict()
+    results["telemetry_overhead"] = TelemetryOverheadBench().run().as_dict()
+
+
 def bench_queryload(results: dict) -> None:
     """Query engine: hot-server cache speedup + invalidation correctness."""
     report = QueryLoadBench().run()
@@ -278,6 +289,8 @@ def main() -> int:
     bench_decision_core(results)
     print("running determinism double-run gate ...")
     bench_determinism(results)
+    print("running telemetry detection + overhead benches ...")
+    bench_telemetry(results)
 
     derived = {
         "compiled_speedup_2000_rules": round(
@@ -315,6 +328,10 @@ def main() -> int:
         "determinism_trace_identical": results["determinism_double_run"][
             "all_identical"
         ],
+        "telemetry_conficker_detected": results["telemetry_conficker_detection"][
+            "detected"
+        ],
+        "telemetry_overhead_pct": results["telemetry_overhead"]["overhead_pct"],
     }
     payload = {
         "command": "python benchmarks/run_benchmarks.py",
@@ -383,6 +400,18 @@ def main() -> int:
         print(
             "FAIL: double-run event traces diverged "
             "(see determinism_double_run) — the simulation is not deterministic"
+        )
+        return 1
+    if not derived["telemetry_conficker_detected"]:
+        print(
+            "FAIL: telemetry plane missed or mis-attributed the conficker "
+            "outbreak (see telemetry_conficker_detection.violations)"
+        )
+        return 1
+    if derived["telemetry_overhead_pct"] >= TELEMETRY_OVERHEAD_CEILING:
+        print(
+            f"FAIL: telemetry sampling overhead at or above the "
+            f"{TELEMETRY_OVERHEAD_CEILING:g}% ceiling"
         )
         return 1
     return 0

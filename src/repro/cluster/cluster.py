@@ -301,6 +301,28 @@ class ControllerCluster:
     # Reporting
     # ------------------------------------------------------------------
 
+    def telemetry_rollup(self) -> dict[str, float]:
+        """Return cheap cluster-wide instantaneous aggregates.
+
+        The telemetry plane samples this once per sweep (SRMCA-style:
+        state pushed up the aggregation tree rather than per-series
+        fan-out at read time); unlike :meth:`summary` it touches only
+        integer counters, so it is safe to call on every tick.
+        """
+        punts = hits = lookups = 0
+        for controller in self.replicas.values():
+            punts += int(controller.packet_ins.value)
+            engine = controller.query_engine
+            hits += engine.hits
+            lookups += engine.lookups()
+        return {
+            "punts": float(punts),
+            "pending": float(self.pending_total()),
+            "hit_ratio": hits / lookups if lookups else 0.0,
+            "failovers": float(self.failovers),
+            "live_shards": float(len(self.shard_map.live_shards())),
+        }
+
     def pending_total(self) -> int:
         """Return how many flows are pending across all replicas."""
         return sum(len(c.pending_flows()) for c in self.replicas.values())

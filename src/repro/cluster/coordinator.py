@@ -42,7 +42,7 @@ class ClusterChangeRecord:
 
     epoch: int
     time: float
-    kind: str  # "policy_reload" | "grant" | "revocation"
+    kind: str  # "policy_reload" | "grant" | "revocation" | "quarantine"
     origin_shard: str
     detail: str
     applied_to: tuple[str, ...]
@@ -204,6 +204,32 @@ class ClusterCoordinator:
         return self._propagate(
             "revocation", origin_shard, f"principal={principal}", apply
         )
+
+    # ------------------------------------------------------------------
+    # Quarantine propagation
+    # ------------------------------------------------------------------
+
+    def quarantine_host(
+        self, host_ip, *, origin_shard: Optional[str] = None
+    ) -> ClusterChangeRecord:
+        """Quarantine a host on every live replica.
+
+        Each replica runs its own
+        :meth:`~repro.core.controller.IdentPPController.quarantine_host`
+        (quick-block policy, cached-decision revocation, query-engine
+        invalidation, datapath drop entries); the change rides the
+        replay log like any other, so a crashed shard picks the
+        quarantine up at :meth:`resync` and can never be revived still
+        trusting the host.  The telemetry plane's auto-quarantine
+        responder is the main caller.
+        """
+        ip = str(host_ip)
+
+        def apply(controller: IdentPPController) -> int:
+            controller.quarantine_host(ip)
+            return 0
+
+        return self._propagate("quarantine", origin_shard, f"host={ip}", apply)
 
     # ------------------------------------------------------------------
     # Propagation + crash recovery

@@ -163,6 +163,20 @@ class DecisionCache:
         self._drop_entry_bookkeeping(decision)
         return True
 
+    def cookies_for_host(self, host_ip) -> set[str]:
+        """Return the cookies of cached decisions touching ``host_ip``.
+
+        The quarantine path uses this to revoke every decision a
+        compromised host is party to — as source *or* destination — in
+        one pass; cookie-indexed revocation then does the per-flow work.
+        """
+        target = str(host_ip)
+        return {
+            decision.cookie
+            for flow, decision in self._decisions.items()
+            if str(flow.src_ip) == target or str(flow.dst_ip) == target
+        }
+
     def invalidate_cookie(self, cookie: str) -> int:
         """Drop every cached decision (and state) carrying ``cookie``; returns the count.
 

@@ -253,6 +253,9 @@ class ControllerConfig:
     policy_eval_delay: float = DEFAULT_POLICY_EVAL_DELAY
     flow_priority: int = 100
     drop_priority: int = 90
+    # Quarantine drops must outrank already-installed pass entries
+    # (flow_priority), or a quarantined host's live flows keep flowing.
+    quarantine_priority: int = 200
     query_both_ends: bool = True
     pending_deadline: float = 5.0
     lifecycle_interval: float = 0.0
@@ -327,6 +330,9 @@ class IdentPPController(Controller):
         # whole path down when any hop reports its entry gone.
         self._path_installs: dict[str, PathInstall] = {}
         self.path_unwinds = 0
+        # Hosts quarantined through quarantine_host (telemetry-driven or
+        # administrative); the set makes re-quarantine a no-op.
+        self.quarantined_hosts: set[str] = set()
         self.lifecycle = LifecycleService(
             name=f"{name}.lifecycle", interval=self.config.lifecycle_interval
         )
@@ -1191,6 +1197,14 @@ class IdentPPController(Controller):
         """Return how many punts are mid-pipeline (query/queued/eval stage)."""
         return len(self._inflight)
 
+    def pending_depth(self) -> int:
+        """Return how many flows await a decision (telemetry probe tap)."""
+        return len(self._pending)
+
+    def serial_depth(self) -> int:
+        """Return the serial decision queue's depth (telemetry probe tap)."""
+        return self._serial.depth()
+
     def resume(self) -> None:
         """Revive a halted controller without stranding its frozen flows.
 
@@ -1277,6 +1291,55 @@ class IdentPPController(Controller):
             removed += self.revoke_decision(cookie)
         return removed
 
+    def quarantine_host(self, host_ip) -> bool:
+        """Cut a compromised host off in both the policy and the datapath.
+
+        The telemetry plane's auto-quarantine responder lands here (via
+        the cluster coordinator when sharded).  Containment is layered
+        so each part covers the others' gaps:
+
+        1. a ``quick`` block pair is appended to the policy, so every
+           *future* decision about the host denies regardless of what
+           rule would otherwise match (last-match-wins cannot override
+           a quick rule);
+        2. cached decisions touching the host are revoked — their flow
+           entries leave every switch and the decision cache forgets
+           them, so in-flight conversations stop;
+        3. the query engine's cached endpoint answers for the host are
+           invalidated (a compromised host's daemon can no longer be
+           believed, §6);
+        4. wildcard drop entries for the host land on every switch at
+           ``quarantine_priority``, containing the punt storm in the
+           datapath — the scanner's packets die at its ingress switch
+           instead of burning controller round-trips per probe.
+
+        Idempotent: returns ``False`` (and does nothing) when the host
+        is already quarantined.
+        """
+        ip = str(host_ip)
+        if ip in self.quarantined_hosts:
+            return False
+        self.quarantined_hosts.add(ip)
+        self.policy.add_control_file(
+            f"00-quarantine-{ip}.control",
+            f"block quick from {ip} to any\nblock quick from any to {ip}\n",
+            provenance="quarantine",
+        )
+        for cookie in sorted(self.cache.cookies_for_host(ip)):
+            self.revoke_decision(cookie)
+        self.query_engine.invalidate_host(ip, reason="quarantine")
+        cookie = f"quarantine:{ip}"
+        for switch in self.switches():
+            for match in (Match(nw_src=ip), Match(nw_dst=ip)):
+                self.install_flow(
+                    switch,
+                    match,
+                    [DropAction()],
+                    priority=self.config.quarantine_priority,
+                    cookie=cookie,
+                )
+        return True
+
     # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
@@ -1309,6 +1372,7 @@ class IdentPPController(Controller):
             "pending_expired": self.pending_expired,
             "path_installs": len(self._path_installs),
             "path_unwinds": self.path_unwinds,
+            "quarantined_hosts": sorted(self.quarantined_hosts),
             "policy_errors": self.policy_errors,
             "repunts_adopted": self.repunts_adopted,
             "halted": self.halted,

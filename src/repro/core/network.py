@@ -105,6 +105,8 @@ class IdentPPNetwork:
         self.daemons: dict[str, IdentPPDaemon] = {}
         self.cluster: Optional[ControllerCluster] = None
         self.controller: Optional[IdentPPController] = None
+        # The telemetry plane, once enable_telemetry() assembles one.
+        self.telemetry = None
         # Networks fronted by a cluster (or an explicit controller list)
         # pass False so summaries don't carry a dead unsharded controller.
         if create_default_controller:
@@ -364,6 +366,24 @@ class IdentPPNetwork:
         except KeyError as exc:
             raise TopologyError(f"host {host_name} does not run an ident++ daemon") from exc
 
+    def enable_telemetry(self, **plane_kwargs):
+        """Assemble (and return) a telemetry plane over this network.
+
+        Call after the topology is built — probes are wired against the
+        controllers and switches that exist now.  Start sampling with
+        ``net.telemetry.start()`` (and stop with ``.stop()`` so the
+        event queue can drain).  Keyword arguments are forwarded to
+        :class:`~repro.telemetry.plane.TelemetryPlane`.
+        """
+        # Local import: the telemetry package is duck-typed over this
+        # network object and must stay importable without repro.core.
+        from repro.telemetry.plane import TelemetryPlane
+
+        if self.telemetry is not None:
+            raise TopologyError(f"network {self.name} already has a telemetry plane")
+        self.telemetry = TelemetryPlane(self, **plane_kwargs)
+        return self.telemetry
+
     def run(self, duration: Optional[float] = None, max_events: Optional[int] = None) -> int:
         """Run the simulator until idle (or for ``duration`` seconds)."""
         return self.topology.run(until=None if duration is None else self.topology.sim.now + duration,
@@ -434,6 +454,8 @@ class IdentPPNetwork:
             cluster_summary = self.cluster.summary()
             cluster_summary.pop("per_shard", None)  # already under "controllers"
             summary["cluster"] = cluster_summary
+        if self.telemetry is not None:
+            summary["telemetry"] = self.telemetry.stats()
         return summary
 
     def hosts_with_daemons(self) -> Iterable[str]:

@@ -581,6 +581,22 @@ class QueryEngine:
         """Return how many queries were requested through the engine."""
         return self.hits + self.misses + self.coalesced + self.negative_hits
 
+    def telemetry_ratios(self) -> dict[str, float]:
+        """Return just the hit/negative/coalesce ratios.
+
+        The telemetry plane samples these every tick; :meth:`stats`
+        builds a 17-key dict per call, which is report material, not
+        probe material.
+        """
+        total = self.lookups()
+        if not total:
+            return {"hit_rate": 0.0, "negative_hit_rate": 0.0, "coalesce_rate": 0.0}
+        return {
+            "hit_rate": self.hits / total,
+            "negative_hit_rate": self.negative_hits / total,
+            "coalesce_rate": self.coalesced / total,
+        }
+
     def stats(self) -> dict[str, object]:
         """Return headline numbers (surfaced by ``Controller.summary()``)."""
         total = self.lookups()

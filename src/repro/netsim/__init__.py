@@ -53,7 +53,7 @@ from repro.netsim.packet import (
     IP_PROTO_UDP,
     Packet,
 )
-from repro.netsim.statistics import Counter, Histogram, StatsRegistry
+from repro.netsim.statistics import Counter, Histogram, RateCounter, StatsRegistry
 from repro.netsim.topology import Topology
 from repro.netsim.trace import PacketTrace, TraceRecord
 
@@ -80,6 +80,7 @@ __all__ = [
     "Counter",
     "EventTraceHasher",
     "Histogram",
+    "RateCounter",
     "SanitizerReport",
     "ShadowReplayReport",
     "SimulationSanitizer",

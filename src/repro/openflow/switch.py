@@ -87,6 +87,9 @@ class OpenFlowSwitch(Node):
         self.punts = Counter(f"{name}.punts")
         self.drops = Counter(f"{name}.drops")
         self.forwarded = Counter(f"{name}.forwarded")
+        # Entries removed from the flow table (timeouts, evictions,
+        # sweeps) — the telemetry plane turns this into a churn rate.
+        self.flow_removed = Counter(f"{name}.flow_removed")
 
     # ------------------------------------------------------------------
     # Control plane
@@ -309,6 +312,7 @@ class OpenFlowSwitch(Node):
                 raise OpenFlowError(f"switch {self.name} cannot apply {type(action).__name__}")
 
     def _notify_removed(self, entry: FlowEntry, *, reason: str = "idle_timeout") -> None:
+        self.flow_removed.increment()
         if self.failed:
             return
         channel = self._owner_channel(entry.cookie)

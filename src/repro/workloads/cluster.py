@@ -40,6 +40,7 @@ from typing import Optional
 from repro.core.controller import ControllerConfig
 from repro.core.network import HostSpec, IdentPPClusterNetwork
 from repro.identpp.flowspec import FlowSpec
+from repro.netsim.statistics import RateCounter
 
 #: The cluster workloads' policy: allow web traffic statefully.
 CLUSTER_POLICY = (
@@ -187,19 +188,20 @@ class ClusterScaleBench:
             )
             self._inject_burst(net, cfg.flows, cfg.clients)
             net.run()
+            rate = RateCounter(f"cluster-scale-{shards}.decisions")
             last_decision = 0.0
-            decided_count = 0
             per_shard: dict[str, int] = {}
             for name, controller in net.cluster.replicas.items():
                 records = [r for r in controller.audit.records() if not r.cached]
                 per_shard[name] = len(records)
-                decided_count += len(records)
+                for record in records:
+                    rate.record(record.time)
                 if records:
                     last_decision = max(last_decision, records[-1].time)
             makespan[shards] = last_decision
-            decided[shards] = decided_count
+            decided[shards] = int(rate.total)
             loads[shards] = per_shard
-            throughput[shards] = decided_count / last_decision if last_decision else 0.0
+            throughput[shards] = rate.mean_rate(last_decision)
         return ClusterScaleReport(
             flows=cfg.flows,
             throughput_by_shards=throughput,

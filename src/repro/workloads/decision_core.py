@@ -37,6 +37,7 @@ from typing import Optional
 
 from repro.core.controller import ControllerConfig
 from repro.core.network import HostSpec, IdentPPNetwork
+from repro.netsim.statistics import RateCounter
 
 #: The decision-core workloads' policy: stateless web allow-list.
 DECISION_POLICY = (
@@ -216,11 +217,15 @@ class DecisionOverlapBench:
                     client = net.host(f"client{index % cfg.clients}")
                     client.open_flow("http", "alice", "192.168.1.1", 80)
                 net.run()
-                records = [r for r in net.controller.audit.records() if not r.cached]
-                last = max((r.time for r in records), default=0.0)
-                throughput.setdefault(core, {})[key] = len(records) / last if last else 0.0
+                rate = RateCounter(f"decision-overlap-{core}-{key}.decisions")
+                last = 0.0
+                for record in net.controller.audit.records():
+                    if not record.cached:
+                        rate.record(record.time)
+                        last = max(last, record.time)
+                throughput.setdefault(core, {})[key] = rate.mean_rate(last)
                 makespan.setdefault(core, {})[key] = last
-                decided.setdefault(core, {})[key] = len(records)
+                decided.setdefault(core, {})[key] = int(rate.total)
         return OverlapReport(
             flows=cfg.flows,
             throughput=throughput,

@@ -49,6 +49,7 @@ from typing import Optional
 
 from repro.core.controller import ControllerConfig
 from repro.core.network import HostSpec, IdentPPClusterNetwork, IdentPPNetwork
+from repro.netsim.statistics import RateCounter
 
 #: Web traffic must prove the server really is httpd (a dst-side
 #: answer); port 8080 is the legacy carve-out that needs no dst info
@@ -283,8 +284,8 @@ class QueryLoadBench:
     # Phases
     # ------------------------------------------------------------------
 
-    def _hot_wave(self, net: IdentPPNetwork) -> tuple[int, float]:
-        """Inject the hot-server flash crowd; return (decided, makespan)."""
+    def _hot_wave(self, net: IdentPPNetwork) -> tuple[RateCounter, float]:
+        """Inject the hot-server flash crowd; return (decision rate, makespan)."""
         cfg = self.config
         for index in range(cfg.flows_per_server * cfg.hot_servers):
             client = net.host(f"client{index % cfg.clients}")
@@ -292,20 +293,24 @@ class QueryLoadBench:
                 "http", "alice", f"192.168.1.{1 + index % cfg.hot_servers}", 80
             )
         net.run()
-        records = [r for r in net.controller.audit.records() if not r.cached]
-        makespan = max((r.time for r in records), default=0.0)
-        return len(records), makespan
+        rate = RateCounter(f"{net.name}.decisions")
+        makespan = 0.0
+        for record in net.controller.audit.records():
+            if not record.cached:
+                rate.record(record.time)
+                makespan = max(makespan, record.time)
+        return rate, makespan
 
     def _run_hot_phase(self) -> dict:
         cfg = self.config
         out: dict = {"flows": cfg.flows_per_server * cfg.hot_servers}
         for label, ttl in (("uncached", 0.0), ("cached", cfg.cache_ttl)):
             net = self._build_net(f"queryload-{label}", cache_ttl=ttl)
-            decided, makespan = self._hot_wave(net)
+            rate, makespan = self._hot_wave(net)
             out[label] = {
-                "decided": decided,
+                "decided": int(rate.total),
                 "makespan": makespan,
-                "per_vsec": decided / makespan if makespan else 0.0,
+                "per_vsec": rate.mean_rate(makespan),
                 "daemon_answers": int(
                     sum(net.daemon(f"server{i}").queries_answered.value
                         for i in range(cfg.hot_servers))

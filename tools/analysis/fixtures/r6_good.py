@@ -1,0 +1,23 @@
+"""R6 fixture (good): every histogram and rate counter carries a name."""
+
+from repro.netsim.statistics import Histogram, RateCounter, StatsRegistry
+
+
+def make_latency_histogram():
+    return Histogram("decision_latency")
+
+
+def make_bounded_histogram():
+    return Histogram("punt_latency", reservoir=256)
+
+
+def make_rate():
+    return RateCounter("controller.punt_rate", 0.25)
+
+
+def make_keyword_named():
+    return Histogram(name="query_latency"), RateCounter(name="hits_per_sec")
+
+
+def make_registered(registry: StatsRegistry):
+    return registry.histogram("setup_latency")

@@ -5,6 +5,7 @@ from tools.analysis.rules.r2_unseeded_random import UnseededRandomRule
 from tools.analysis.rules.r3_broad_except import BroadExceptRule
 from tools.analysis.rules.r4_blocking_callback import BlockingCallbackRule
 from tools.analysis.rules.r5_mutable_defaults import MutableDefaultsRule
+from tools.analysis.rules.r6_metric_names import MetricNamesRule
 
 #: Every rule, in id order — the default rule set of ``run_lint.py``.
 ALL_RULES = (
@@ -13,6 +14,7 @@ ALL_RULES = (
     BroadExceptRule(),
     BlockingCallbackRule(),
     MutableDefaultsRule(),
+    MetricNamesRule(),
 )
 
 
@@ -29,4 +31,5 @@ __all__ = [
     "BroadExceptRule",
     "BlockingCallbackRule",
     "MutableDefaultsRule",
+    "MetricNamesRule",
 ]

@@ -1,0 +1,65 @@
+"""R6 — histograms and rate counters must be named.
+
+The same failure shape R5 catches for ``Counter`` applies to the two
+other instruments in :mod:`repro.netsim.statistics`, with an extra
+twist each:
+
+* **Histogram** — ``StatsRegistry`` snapshots and benchmark reports key
+  on ``histogram.name``, so an anonymous histogram's observations never
+  reach ``BENCH_results.json``.  Worse, a reservoir-bounded histogram
+  seeds its sampling RNG from the name — every anonymous reservoir
+  shares the seed for the empty string, which quietly correlates
+  percentile estimates that should be independent.
+* **RateCounter** — the telemetry plane builds one windowed rate per
+  series and keys the series name off the counter name; an anonymous
+  rate counter produces a probe nobody can find or chart.
+
+Both constructors accept the name as the first positional argument, so
+the fix is one token: ``Histogram("decision_latency")``.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from tools.analysis.core import ParsedModule, Violation
+
+#: Instrument constructors whose first argument is the registry name.
+NAMED_INSTRUMENTS = {"Histogram", "RateCounter"}
+
+
+class MetricNamesRule:
+    """Flag unnamed Histogram / RateCounter construction."""
+
+    rule_id = "R6"
+    title = "histograms and rate counters must be named"
+
+    def check(self, module: ParsedModule) -> list[Violation]:
+        violations: list[Violation] = []
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                called = func.id
+            elif isinstance(func, ast.Attribute):
+                called = func.attr
+            else:
+                continue
+            if called not in NAMED_INSTRUMENTS:
+                continue
+            if node.args or any(
+                keyword.arg == "name" for keyword in node.keywords
+            ):
+                continue
+            violations.append(
+                module.violation(
+                    self.rule_id,
+                    node,
+                    f"`{called}()` without a name records invisibly — "
+                    f"snapshots, telemetry series and BENCH_results.json "
+                    f"key on the name (and reservoir RNG seeds from it); "
+                    f"pass the name as the first argument",
+                )
+            )
+        return violations

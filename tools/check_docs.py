@@ -39,6 +39,7 @@ REQUIRED_SECTIONS: dict[str, list[str]] = {
         "## Life of a punted flow (multi-hop edition)",
         "## Query engine",
         "## Decision core",
+        "## Telemetry plane",
     ],
     "docs/BENCHMARKS.md": [
         "## `results` entries",
@@ -47,6 +48,7 @@ REQUIRED_SECTIONS: dict[str, list[str]] = {
         "### Query engine (PR 5)",
         "### Decision core (PR 6)",
         "### Determinism gate (PR 7)",
+        "### Telemetry (PR 8)",
         "## `derived` entries",
     ],
     "docs/ANALYSIS.md": [
@@ -57,6 +59,7 @@ REQUIRED_SECTIONS: dict[str, list[str]] = {
         "### R3 — no silent broad exception handlers",
         "### R4 — event callbacks must not re-enter the loop or block",
         "### R5 — no mutable defaults, no anonymous counters",
+        "### R6 — histograms and rate counters must be named",
         "## Suppression",
         "## The runtime sanitizer",
     ],
