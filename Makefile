@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries soak_async soak_telemetry docs_check lint determinism
+.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries soak_async soak_telemetry matrix docs_check lint determinism
 
 test:
 	$(PYTHON) -m pytest -q
@@ -26,6 +26,9 @@ soak_async:
 
 soak_telemetry:
 	$(PYTHON) -m repro.workloads.telemetry
+
+matrix:
+	$(PYTHON) -m repro.workloads.experiment
 
 docs_check:
 	$(PYTHON) tools/check_docs.py

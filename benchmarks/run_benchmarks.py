@@ -40,6 +40,10 @@ from repro.workloads.cluster import (  # noqa: E402
     ClusterScaleBench,
 )
 from repro.workloads.determinism import DeterminismGate  # noqa: E402
+from repro.workloads.experiment import (  # noqa: E402
+    MATRIX_MIN_CELLS,
+    run_default_matrix,
+)
 from repro.workloads.decision_core import (  # noqa: E402
     ASYNC_DEGRADATION_CEILING,
     OVERLAP_SPEEDUP_FLOOR,
@@ -260,6 +264,11 @@ def bench_telemetry(results: dict) -> None:
     results["telemetry_overhead"] = TelemetryOverheadBench().run().as_dict()
 
 
+def bench_experiment_matrix(results: dict) -> None:
+    """ROADMAP item 3: the committed scenario matrix with per-cell invariants."""
+    results["experiment_matrix"] = run_default_matrix(nb_repeats=2).as_dict()
+
+
 def bench_queryload(results: dict) -> None:
     """Query engine: hot-server cache speedup + invalidation correctness."""
     report = QueryLoadBench().run()
@@ -291,6 +300,18 @@ def main() -> int:
     bench_determinism(results)
     print("running telemetry detection + overhead benches ...")
     bench_telemetry(results)
+    print("running experiment scenario matrix ...")
+    bench_experiment_matrix(results)
+
+    # Per-invariant verdicts across every matrix cell: an invariant's
+    # gate is true only when it passed in every cell it applied to.
+    matrix = results["experiment_matrix"]
+    matrix_invariants: dict = {}
+    for cell in matrix["cells"]:
+        for invariant, entry in cell["invariants"].items():
+            matrix_invariants[invariant] = (
+                matrix_invariants.get(invariant, True) and entry["passed"]
+            )
 
     derived = {
         "compiled_speedup_2000_rules": round(
@@ -332,6 +353,12 @@ def main() -> int:
             "detected"
         ],
         "telemetry_overhead_pct": results["telemetry_overhead"]["overhead_pct"],
+        "matrix_cells": matrix["cells_total"],
+        "matrix_cells_failed": matrix["cells_failed"],
+        "matrix_invariant_gates": {
+            name: matrix_invariants[name] for name in sorted(matrix_invariants)
+        },
+        "matrix_all_cells_pass": matrix["passed"],
     }
     payload = {
         "command": "python benchmarks/run_benchmarks.py",
@@ -412,6 +439,26 @@ def main() -> int:
         print(
             f"FAIL: telemetry sampling overhead at or above the "
             f"{TELEMETRY_OVERHEAD_CEILING:g}% ceiling"
+        )
+        return 1
+    if derived["matrix_cells"] < MATRIX_MIN_CELLS:
+        print(
+            f"FAIL: experiment matrix has {derived['matrix_cells']} cells, "
+            f"below the {MATRIX_MIN_CELLS}-cell acceptance floor"
+        )
+        return 1
+    failed_gates = [
+        name for name, ok in derived["matrix_invariant_gates"].items() if not ok
+    ]
+    if failed_gates or not derived["matrix_all_cells_pass"]:
+        for cell in matrix["cells"]:
+            for invariant, entry in cell["invariants"].items():
+                for violation in entry["violations"]:
+                    print(f"  {cell['cell']}: [{invariant}] {violation}")
+        print(
+            f"FAIL: experiment matrix invariant gate(s) "
+            f"{failed_gates or ['<cell failures>']} reported FAIL "
+            f"({derived['matrix_cells_failed']} cell(s) violated invariants)"
         )
         return 1
     return 0

@@ -36,6 +36,7 @@ from repro.identpp.flowspec import FlowSpec
 from repro.openflow.actions import OutputAction
 from repro.openflow.flow_table import FlowTable, make_entry
 from repro.openflow.match import Match
+from repro.workloads.invariants import check_bounded_state
 
 #: The soak policy: allow web traffic statefully, deny the rest.
 CHURN_POLICY = (
@@ -107,21 +108,26 @@ class ChurnReport:
     def bounded(self, factor: float = 2.0) -> bool:
         """Return ``True`` when every peak stayed within ``factor`` × expected.
 
-        Populates :attr:`violations` with a line per structure that
-        overflowed, so failures are diagnosable from the report alone.
+        Delegates to the shared bounded-state invariant checker
+        (:func:`repro.workloads.invariants.check_bounded_state`) — the
+        same one the experiment matrix runs on every cell — and
+        populates :attr:`violations` with its findings, so failures are
+        diagnosable from the report alone.
         """
-        self.violations = []
-        checks = [
-            ("DecisionCache", self.peak_cache_entries, self.expected_cache_entries),
-            ("StateTable", self.peak_state_entries, self.expected_state_entries),
-            ("FlowTable", self.peak_table_entries, self.expected_table_entries),
-        ]
-        for label, peak, expected in checks:
-            if peak > factor * expected:
-                self.violations.append(
-                    f"{label}: peak {peak} > {factor:g}x expected working set {expected:g}"
-                )
-        return not self.violations
+        result = check_bounded_state(
+            observed={
+                "DecisionCache": self.peak_cache_entries,
+                "StateTable": self.peak_state_entries,
+                "FlowTable": self.peak_table_entries,
+            },
+            caps={
+                "DecisionCache": factor * self.expected_cache_entries,
+                "StateTable": factor * self.expected_state_entries,
+                "FlowTable": factor * self.expected_table_entries,
+            },
+        )
+        self.violations = list(result.violations)
+        return result.passed
 
     def as_dict(self) -> dict[str, object]:
         """Return a JSON-serialisable summary (used by the benchmark suite)."""

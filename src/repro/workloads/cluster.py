@@ -41,6 +41,7 @@ from repro.core.controller import ControllerConfig
 from repro.core.network import HostSpec, IdentPPClusterNetwork
 from repro.identpp.flowspec import FlowSpec
 from repro.netsim.statistics import RateCounter
+from repro.workloads.invariants import check_zero_loss
 
 #: The cluster workloads' policy: allow web traffic statefully.
 CLUSTER_POLICY = (
@@ -276,6 +277,10 @@ class ClusterFailoverReport:
     epochs_converged: bool = False
     resyncs: int = 0
     wall_seconds: float = 0.0
+    # Accounting/drain violations come from the shared zero-loss checker
+    # (repro.workloads.invariants) — the same one the experiment matrix
+    # evaluates — so the soak and the matrix cannot drift apart.
+    accounting_violations: tuple[str, ...] = ()
     # Computed from the fields above, never passed in.
     violations: list[str] = field(init=False, default_factory=list)
 
@@ -283,17 +288,7 @@ class ClusterFailoverReport:
         self.violations = self._compute_violations()
 
     def _compute_violations(self) -> list[str]:
-        violations = []
-        if self.flows_accounted != self.flows:
-            violations.append(
-                f"only {self.flows_accounted}/{self.flows} flows reached a verdict"
-            )
-        if self.pending_after:
-            violations.append(f"{self.pending_after} flows still pending at drain")
-        if self.buffered_after:
-            violations.append(
-                f"{self.buffered_after} punted packets still buffered at drain"
-            )
+        violations = list(self.accounting_violations)
         if self.failovers < 1:
             violations.append("the kill was never detected (no failover ran)")
         if self.revocation_active_after:
@@ -378,13 +373,13 @@ class ClusterFailoverChurn:
         net.stop_monitoring()
         net.run()  # drain every remaining decision/deadline event
 
-        # --- loss accounting -------------------------------------------------
+        # --- loss accounting (shared zero-loss invariant checker) ------------
         records = cluster.audit_records()
-        decided_flows = {r.flow for r in records if not r.cached and r.rule_origin != "error"}
-        failed_closed = {r.flow for r in records if r.rule_origin == "error"}
-        accounted = {flow for flow in flows if flow in decided_flows or flow in failed_closed}
         pending_after = cluster.pending_total()
         buffered_after = sum(s.buffered_count() for s in net.switches.values())
+        accounting = check_zero_loss(
+            flows, records, pending=pending_after, buffered=buffered_after
+        )
 
         # --- cluster-wide revocation after the failover ----------------------
         # Issued while one replica is still a corpse: every live shard
@@ -400,9 +395,9 @@ class ClusterFailoverChurn:
 
         report = ClusterFailoverReport(
             flows=len(flows),
-            decided=len(decided_flows),
-            failed_closed=len(failed_closed),
-            flows_accounted=len(accounted),
+            decided=accounting.details["decided"],
+            failed_closed=accounting.details["failed_closed"],
+            flows_accounted=len(flows) - accounting.details["unaccounted"],
             repunted_flows=cluster.repunted_flows,
             repunted_messages=cluster.repunted_messages,
             failovers=cluster.failovers,
@@ -417,6 +412,7 @@ class ClusterFailoverChurn:
             epochs_converged=cluster.coordinator.verify_converged(),
             resyncs=cluster.coordinator.resyncs,
             wall_seconds=time.perf_counter() - wall_start,
+            accounting_violations=tuple(accounting.violations),
         )
         return report
 

@@ -6,6 +6,19 @@ from repro.core.controller import ControllerConfig
 from repro.core.network import HostSpec, IdentPPClusterNetwork, IdentPPNetwork
 from repro.exceptions import SimulationError
 from repro.identpp.flowspec import FlowSpec
+from repro.workloads.invariants import check_zero_loss, network_audit_records, network_flow_state
+
+
+def assert_zero_loss(net, flows):
+    """Assert the shared zero-loss invariant over a finished cluster run."""
+    state = network_flow_state(net)
+    result = check_zero_loss(
+        flows,
+        network_audit_records(net),
+        pending=state["pending"],
+        buffered=state["buffered"],
+    )
+    assert result.passed, result.violations
 
 POLICY = {
     "00-default.control": (
@@ -58,9 +71,9 @@ class TestFailover:
         records = net.cluster.replicas[successor].audit.records()
         assert [r.action for r in records] == ["pass"]
         assert len(net.host("server").delivered) == 1
-        # No pending entry survives anywhere — not even on the corpse.
-        assert net.cluster.pending_total() == 0
-        assert net.switches["sw"].buffered_count() == 0
+        # No pending entry survives anywhere — not even on the corpse —
+        # and the flow was decided exactly once across the kill.
+        assert_zero_loss(net, [flow])
         assert net.cluster.failovers == 1
         assert net.cluster.repunted_flows == 1
         assert net.cluster.replicas[successor].repunts_adopted == 1
@@ -102,8 +115,7 @@ class TestFailover:
         net.run()
         successor = net.cluster.shard_map.owner(flow)
         assert len(net.cluster.replicas[successor].audit.records()) == 1
-        assert net.cluster.pending_total() == 0
-        assert net.switches["sw"].buffered_count() == 0
+        assert_zero_loss(net, [flow])
 
     def test_restore_returns_the_shard_to_the_ring(self):
         net = build_network()
@@ -140,8 +152,7 @@ class TestFailover:
         net.run()
         assert len(net.host("server").delivered) == 1
         assert net.cluster.replicas[owner].audit.records()[0].action == "pass"
-        assert net.cluster.pending_total() == 0
-        assert net.switches["sw"].buffered_count() == 0
+        assert_zero_loss(net, [flow])
 
     def test_restore_after_swallowed_deadline_rearms_fail_closed(self):
         # The one-shot pending deadline fires into a halted controller

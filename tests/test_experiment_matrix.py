@@ -1,0 +1,291 @@
+"""Tests for the experiment harness and the shared invariant checkers.
+
+Three layers:
+
+* spec expansion — grid product, seed threading, validation of
+  axis combos, repeat aggregation in :class:`Experiment`;
+* every invariant checker in :mod:`repro.workloads.invariants`
+  exercised against a synthetic passing run AND a deliberately
+  violated run, so the matrix's gates are proven able to fail;
+* one small end-to-end matrix run under ``sanitize=True``.
+"""
+
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.workloads import invariants
+from repro.workloads.experiment import (
+    ARCH_IDENTPP,
+    BASELINE_ARCHITECTURES,
+    Experiment,
+    ScenarioSpec,
+    applicable_invariants,
+    default_matrix,
+    expand_grid,
+)
+
+
+# ----------------------------------------------------------------------
+# Synthetic audit records (the shape the checkers classify on)
+# ----------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class FakeRecord:
+    """Just enough of an audit record for the checkers: flow + origin."""
+
+    flow: str
+    cached: bool = False
+    rule_origin: str = "rule"
+    time: float = 0.0
+
+
+# ----------------------------------------------------------------------
+# Spec expansion
+# ----------------------------------------------------------------------
+
+class TestScenarioSpec:
+    def test_cell_id_joins_axes(self):
+        spec = ScenarioSpec()
+        assert spec.cell_id() == "edge_core/single/web_open/web_burst/none"
+
+    def test_cell_id_marks_partial_daemon_fleets(self):
+        spec = ScenarioSpec(daemon_fraction=0.1)
+        assert spec.cell_id().endswith("/daemons10%")
+
+    def test_unknown_axis_value_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            ScenarioSpec(topology="moebius_strip").validate()
+
+    def test_kill_shard_requires_a_cluster(self):
+        with pytest.raises(ValueError, match="cluster"):
+            ScenarioSpec(failure="kill_shard", control="single").validate()
+
+    def test_partition_heal_requires_spine_leaf(self):
+        with pytest.raises(ValueError, match="spine_leaf"):
+            ScenarioSpec(failure="partition_heal", topology="edge_core").validate()
+
+    def test_retenant_failure_and_traffic_pair_up(self):
+        with pytest.raises(ValueError, match="retenant"):
+            ScenarioSpec(failure="retenant", traffic="web_burst").validate()
+        with pytest.raises(ValueError, match="retenant"):
+            ScenarioSpec(traffic="retenant", failure="none").validate()
+
+    def test_quarantine_race_needs_worm_traffic(self):
+        with pytest.raises(ValueError, match="worm"):
+            ScenarioSpec(failure="quarantine_race", control="cluster2").validate()
+
+
+class TestExpandGrid:
+    def test_cartesian_product_over_sorted_axes(self):
+        specs = expand_grid({
+            "topology": ["edge_core", "spine_leaf"],
+            "control": ["single", "cluster2"],
+        })
+        assert len(specs) == 4
+        combos = {(s.topology, s.control) for s in specs}
+        assert combos == {
+            ("edge_core", "single"), ("edge_core", "cluster2"),
+            ("spine_leaf", "single"), ("spine_leaf", "cluster2"),
+        }
+
+    def test_seed_threads_from_base_in_stable_order(self):
+        base = ScenarioSpec(seed=7000)
+        specs = expand_grid({"control": ["single", "cluster2"]}, base=base)
+        assert [s.seed for s in specs] == [7000, 7001]
+        # Same grid, same order, same seeds — the expansion is stable.
+        again = expand_grid({"control": ["single", "cluster2"]}, base=base)
+        assert [s.seed for s in again] == [s.seed for s in specs]
+
+    def test_cells_are_named_after_their_axes(self):
+        (spec,) = expand_grid({"topology": ["spine_leaf"]})
+        assert spec.name == spec.cell_id()
+
+    def test_expansion_validates_each_cell(self):
+        with pytest.raises(ValueError):
+            expand_grid({"failure": ["kill_shard"]})  # base control is single
+
+    def test_default_matrix_has_20_plus_uniquely_named_cells(self):
+        cells = default_matrix()
+        assert len(cells) >= 20
+        assert len({c.name for c in cells}) == len(cells)
+        for cell in cells:
+            cell.validate()
+
+
+# ----------------------------------------------------------------------
+# Invariant checkers: one passing and one violated run each
+# ----------------------------------------------------------------------
+
+class TestFailClosedChecker:
+    def test_passes_when_every_flow_reaches_a_verdict(self):
+        records = [FakeRecord("f1"), FakeRecord("f2", rule_origin="error")]
+        result = invariants.check_fail_closed(["f1", "f2"], records)
+        assert result.passed
+        assert result.details["decided"] == 1
+        assert result.details["failed_closed"] == 1
+
+    def test_planted_open_ended_flow_fails(self):
+        records = [FakeRecord("f1")]
+        result = invariants.check_fail_closed(["f1", "lost"], records)
+        assert not result.passed
+        assert any("lost" in v for v in result.violations)
+
+    def test_undrained_pending_or_buffers_fail(self):
+        result = invariants.check_fail_closed(["f1"], [FakeRecord("f1")], pending=2)
+        assert not result.passed and "pending" in result.violations[0]
+        result = invariants.check_fail_closed(["f1"], [FakeRecord("f1")], buffered=3)
+        assert not result.passed and "buffered" in result.violations[0]
+
+    def test_cached_replays_do_not_count_as_verdicts(self):
+        records = [FakeRecord("f1", cached=True)]
+        result = invariants.check_fail_closed(["f1"], records)
+        assert not result.passed
+
+
+class TestZeroLossChecker:
+    def test_passes_when_each_flow_decided_exactly_once(self):
+        records = [FakeRecord("f1"), FakeRecord("f2")]
+        result = invariants.check_zero_loss(["f1", "f2"], records)
+        assert result.passed and result.name == invariants.ZERO_LOSS
+
+    def test_double_decision_fails(self):
+        records = [FakeRecord("f1"), FakeRecord("f1")]
+        result = invariants.check_zero_loss(["f1"], records)
+        assert not result.passed
+        assert any("decided 2 times" in v for v in result.violations)
+
+    def test_fail_closed_then_fresh_decision_is_fine(self):
+        # The error verdict is the backstop, not a decision: a flow that
+        # failed closed on the corpse and was re-decided after adoption
+        # still counts as decided exactly once.
+        records = [FakeRecord("f1", rule_origin="error"), FakeRecord("f1")]
+        assert invariants.check_zero_loss(["f1"], records).passed
+
+
+class TestContainmentChecker:
+    def test_pre_quarantine_traffic_is_expected(self):
+        deliveries = [(1.0, "10.0.0.1", "10.0.1.1")]
+        result = invariants.check_containment(deliveries, {"10.0.0.1": 2.0})
+        assert result.passed
+        assert result.details["breaches"] == 0
+
+    def test_post_quarantine_delivery_is_a_breach(self):
+        deliveries = [(3.0, "10.0.0.1", "10.0.1.1")]
+        result = invariants.check_containment(deliveries, {"10.0.0.1": 2.0})
+        assert not result.passed
+        assert "quarantined host 10.0.0.1" in result.violations[0]
+
+    def test_grace_window_tolerates_propagation(self):
+        deliveries = [(2.05, "10.0.0.1", "10.0.1.1")]
+        assert not invariants.check_containment(deliveries, {"10.0.0.1": 2.0})
+        assert invariants.check_containment(
+            deliveries, {"10.0.0.1": 2.0}, grace=0.1
+        ).passed
+
+
+class TestCacheCoherenceChecker:
+    def test_fresh_decisions_matching_new_identity_pass(self):
+        probes = [invariants.CoherenceProbe("srv:80", "block", "block", requeried=True)]
+        assert invariants.check_cache_coherence(probes).passed
+
+    def test_stale_cached_identity_fails(self):
+        probes = [invariants.CoherenceProbe("srv:80", "block", "pass")]
+        result = invariants.check_cache_coherence(probes)
+        assert not result.passed
+        assert "stale cached identity" in result.violations[0]
+
+    def test_serving_without_requery_fails(self):
+        probes = [invariants.CoherenceProbe("srv:80", "block", "block", requeried=False)]
+        result = invariants.check_cache_coherence(probes)
+        assert not result.passed
+        assert "without re-querying" in result.violations[0]
+
+
+class TestBoundedStateChecker:
+    def test_peaks_within_caps_pass(self):
+        result = invariants.check_bounded_state(
+            {"cache": 10, "extra_uncapped": 999}, {"cache": 16}
+        )
+        assert result.passed
+
+    def test_overflowing_structure_fails(self):
+        result = invariants.check_bounded_state({"cache": 33}, {"cache": 16})
+        assert not result.passed
+        assert "reached 33" in result.violations[0]
+
+    def test_unmeasured_capped_structure_fails(self):
+        result = invariants.check_bounded_state({}, {"cache": 16})
+        assert not result.passed
+        assert "never measured" in result.violations[0]
+
+
+# ----------------------------------------------------------------------
+# The experiment runner
+# ----------------------------------------------------------------------
+
+SMALL = ScenarioSpec(topology="single", flows=8, clients=2, servers=1,
+                     duration=6.0, sanitize=True)
+
+
+class TestExperimentRunner:
+    def test_rejects_nonpositive_repeats(self):
+        with pytest.raises(ValueError):
+            Experiment("bad", nb_repeats=0)
+
+    def test_scenarios_default_is_not_shared_between_instances(self):
+        # The exemplar's mutable-default trap (lint rule R5): two
+        # experiments must never share a scenario list.
+        first = Experiment("first").add(SMALL)
+        second = Experiment("second")
+        assert second.scenarios == []
+        assert first.scenarios != second.scenarios
+
+    def test_repeat_aggregation_sums_identpp_outcomes(self):
+        single = Experiment("one", [SMALL], nb_repeats=1).run()
+        double = Experiment("two", [SMALL], nb_repeats=2).run()
+        one, two = single.cells[0], double.cells[0]
+        assert one.repeats == 1 and two.repeats == 2
+        one_counts = one.architectures[ARCH_IDENTPP]
+        two_counts = two.architectures[ARCH_IDENTPP]
+        judged_one = one_counts["allowed"] + one_counts["blocked"]
+        judged_two = two_counts["allowed"] + two_counts["blocked"]
+        assert judged_two == 2 * judged_one
+        # Baselines are evaluated once per cell, not per repeat.
+        for arch in BASELINE_ARCHITECTURES:
+            assert two.architectures[arch] == one.architectures[arch]
+
+    def test_repeats_thread_distinct_seeds(self):
+        report = Experiment("seeded", [SMALL], nb_repeats=2).run()
+        hashes = report.cells[0].trace_hashes
+        assert len(hashes) == 2
+        # Different repeat seeds produce different traffic timelines.
+        assert hashes[0] != hashes[1]
+
+    def test_identical_runs_are_deterministic(self):
+        first = Experiment("det", [SMALL]).run()
+        second = Experiment("det", [SMALL]).run()
+        assert first.cells[0].trace_hashes == second.cells[0].trace_hashes
+        assert first.cells[0].architectures == second.cells[0].architectures
+
+
+class TestEndToEndMatrix:
+    def test_four_cell_matrix_runs_sanitized_and_passes(self):
+        specs = expand_grid(
+            {"control": ["single", "cluster2"],
+             "topology": ["edge_core", "spine_leaf"]},
+            base=replace(SMALL, topology="edge_core"),
+        )
+        assert len(specs) == 4
+        report = Experiment("e2e", specs, nb_repeats=1).run()
+        assert report.passed, [c.as_dict() for c in report.failed_cells()]
+        for cell in report.cells:
+            # Every applicable invariant ran and passed...
+            assert set(cell.invariants) == set(applicable_invariants(cell.spec))
+            assert all(entry["passed"] for entry in cell.invariants.values())
+            # ...ident++ and all four baselines are compared...
+            assert set(cell.architectures) == {ARCH_IDENTPP, *BASELINE_ARCHITECTURES}
+            # ...and the sanitizer hash was recorded for the repeat.
+            assert cell.trace_hashes
+        payload = report.as_dict()
+        assert payload["cells_total"] == 4 and payload["cells_failed"] == 0

@@ -8,6 +8,7 @@ from repro.core.lifecycle import ExpiryHeap, LifecycleService
 from repro.core.network import HostSpec, IdentPPNetwork
 from repro.identpp.flowspec import FlowSpec
 from repro.netsim.events import Simulator
+from repro.workloads.invariants import check_bounded_state, network_flow_state
 
 
 POLICY = {
@@ -249,9 +250,11 @@ class TestFailClosedPuntPipeline:
         assert not result.delivered
         # Regression: the erroring flow's pending entry used to leak and
         # its buffered PacketIns were stranded at the switches forever.
-        assert controller._pending == {}
+        bounded = check_bounded_state(
+            network_flow_state(net), {"pending": 0, "buffered": 0}
+        )
+        assert bounded.passed, bounded.violations
         assert controller._pending_deadline_events == {}
-        assert all(s.buffered_count() == 0 for s in net.switches.values())
         errors = [r for r in controller.audit.records() if r.rule_origin == "error"]
         assert len(errors) == 1
         assert errors[0].action == "block"
@@ -360,11 +363,12 @@ class TestLifecycleSweepsNetwork:
         net.run(duration=0.05)
         assert len(controller.cache) > 0
         # Drain: the lifecycle keeps sweeping while state remains, then
-        # deschedules itself so the run can end.
+        # deschedules itself so the run can end.  The shared bounded-state
+        # checker proves every flow structure was reclaimed to zero.
         net.run()
-        assert len(controller.cache) == 0
-        assert len(controller.cache.state_table) == 0
-        assert all(len(s.flow_table) == 0 for s in net.switches.values())
+        drained = network_flow_state(net)
+        bounded = check_bounded_state(drained, {name: 0 for name in drained})
+        assert bounded.passed, bounded.violations
         stats = controller.lifecycle.stats()
         assert stats["sweeps"] > 0
         assert stats["reclaimed_total"] > 0

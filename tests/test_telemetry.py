@@ -33,6 +33,7 @@ from repro.telemetry import (
     TimeSeries,
 )
 from repro.workloads.enterprise import build_enterprise_network
+from repro.workloads.invariants import check_containment, network_deliveries
 from repro.workloads.telemetry import (
     ConfickerTelemetryBench,
     ConfickerTelemetryConfig,
@@ -323,6 +324,7 @@ class TestQuarantineMechanics:
         net = _small_cluster(shards=1)
         assert net.send_flow("h0", "http", "alice", "192.168.1.1", 80).delivered
         controller = next(iter(net.controllers.values()))
+        quarantined_at = net.topology.sim.now
         assert controller.quarantine_host("192.168.0.10") is True
         assert controller.quarantine_host("192.168.0.10") is False  # idempotent
         assert "192.168.0.10" in controller.summary()["quarantined_hosts"]
@@ -333,6 +335,13 @@ class TestQuarantineMechanics:
         # before it ever punts, so no new decision is audited.
         assert result.decision_action is None
         assert net.send_flow("h1", "http", "alice", "192.168.1.1", 80).delivered
+        # The shared containment invariant sees the same story: h0's
+        # pre-quarantine delivery is expected, nothing lands after.
+        containment = check_containment(
+            network_deliveries(net), {"192.168.0.10": quarantined_at}
+        )
+        assert containment.passed, containment.violations
+        assert containment.details["deliveries"] > 0
 
     def test_cookies_for_host_finds_both_directions(self):
         net = _small_cluster(shards=1)
@@ -346,9 +355,17 @@ class TestQuarantineMechanics:
     def test_coordinator_propagates_to_all_live_shards(self):
         net = _small_cluster(shards=2)
         net.send_flow("h0", "http", "alice", "192.168.1.1", 80)
+        quarantined_at = net.topology.sim.now
         net.cluster.coordinator.quarantine_host("192.168.0.10")
         for controller in net.cluster.replicas.values():
             assert "192.168.0.10" in controller.quarantined_hosts
+        # And the replicated quarantine actually contains the host.
+        net.run(0.5)
+        net.send_flow("h0", "http", "alice", "192.168.1.1", 80)
+        containment = check_containment(
+            network_deliveries(net), {"192.168.0.10": quarantined_at}
+        )
+        assert containment.passed, containment.violations
 
     def test_crashed_shard_learns_quarantine_on_resync(self):
         net = _small_cluster(shards=2)

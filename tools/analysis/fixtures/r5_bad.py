@@ -21,3 +21,19 @@ def make_counter():
     # Anonymous counter: increments are invisible to StatsRegistry
     # snapshots, so the work it tallies never reaches BENCH reports.
     return Counter()
+
+
+# --- dataclass mutable-default misuse (the Experiment-exemplar trap) ---
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class BadExperiment:
+    # A bare mutable class default: one list shared by every instance.
+    scenarios_list: list = []
+    # default= evaluates the container once at class-definition time.
+    tags: dict = field(default=dict())
+    # default_factory wants the callable, not the result of calling it:
+    # list() here builds ONE list that every instance then shares.
+    repeats: list = field(default_factory=list())

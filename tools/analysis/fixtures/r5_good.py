@@ -18,3 +18,16 @@ def configure(overrides: Optional[dict] = None, tags: Optional[set] = None):
 
 def make_counter():
     return Counter(name="queries_served")
+
+
+# --- dataclass defaults done right: factories, not instances ---
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class GoodExperiment:
+    name: str = "baseline"
+    scenarios_list: list = field(default_factory=list)
+    tags: dict = field(default_factory=dict)
+    keys: tuple = field(default_factory=lambda: ("a", "b"))

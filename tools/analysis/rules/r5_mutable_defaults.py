@@ -13,6 +13,13 @@ process:
   benchmark reports (they key on ``counter.name``), so the measurement
   silently vanishes from ``BENCH_results.json``.  Every counter carries
   a name; registry-managed ones get it from ``registry.counter(name)``.
+* **Dataclass mutable defaults** — the same trap in dataclass clothing:
+  ``field(default=[])`` or ``field(default_factory=list())`` evaluates
+  the container once at class-definition time, so every instance shares
+  it (``default_factory`` wants the *callable* ``list``, not the result
+  of calling it).  A bare ``x: list = []`` class default is the shape
+  the ``Experiment`` exemplar shipped with.  Use
+  ``field(default_factory=list)``.
 """
 
 from __future__ import annotations
@@ -33,6 +40,26 @@ def _is_mutable_default(node: ast.expr) -> bool:
     return False
 
 
+def _is_field_call(node: ast.expr) -> bool:
+    """True for ``field(...)`` / ``dataclasses.field(...)`` (any alias of field)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id in {"field", "dataclass_field"}
+    return isinstance(func, ast.Attribute) and func.attr == "field"
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if isinstance(target, ast.Name) and target.id == "dataclass":
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == "dataclass":
+            return True
+    return False
+
+
 class MutableDefaultsRule:
     """Flag mutable defaults and unnamed Counter construction."""
 
@@ -42,6 +69,8 @@ class MutableDefaultsRule:
     def check(self, module: ParsedModule) -> list[Violation]:
         violations: list[Violation] = []
         for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                violations.extend(self._check_dataclass(module, node))
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
                 defaults = list(node.args.defaults) + [
                     default for default in node.args.kw_defaults if default is not None
@@ -77,4 +106,49 @@ class MutableDefaultsRule:
                             "construct it named (or via registry.counter(name))",
                         )
                     )
+        return violations
+
+    def _check_dataclass(
+        self, module: ParsedModule, node: ast.ClassDef
+    ) -> list[Violation]:
+        violations: list[Violation] = []
+        for statement in node.body:
+            value = getattr(statement, "value", None)
+            if value is None:
+                continue
+            if _is_field_call(value):
+                for keyword in value.keywords:
+                    if keyword.arg == "default" and _is_mutable_default(keyword.value):
+                        violations.append(
+                            module.violation(
+                                self.rule_id,
+                                keyword.value,
+                                f"field(default=...) with a mutable container in "
+                                f"`{node.name}` is shared by every instance — use "
+                                f"field(default_factory=...)",
+                            )
+                        )
+                    elif keyword.arg == "default_factory" and isinstance(
+                        keyword.value, (ast.Call, ast.List, ast.Dict, ast.Set)
+                    ):
+                        violations.append(
+                            module.violation(
+                                self.rule_id,
+                                keyword.value,
+                                f"default_factory in `{node.name}` is given an "
+                                f"already-built container, not a callable — the one "
+                                f"container is shared by every instance; pass the "
+                                f"factory itself (e.g. list, not list())",
+                            )
+                        )
+            elif _is_mutable_default(value):
+                violations.append(
+                    module.violation(
+                        self.rule_id,
+                        value,
+                        f"mutable class-level default in dataclass `{node.name}` "
+                        f"is shared by every instance — use "
+                        f"field(default_factory=...)",
+                    )
+                )
         return violations

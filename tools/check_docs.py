@@ -40,6 +40,7 @@ REQUIRED_SECTIONS: dict[str, list[str]] = {
         "## Query engine",
         "## Decision core",
         "## Telemetry plane",
+        "## Experiment harness",
     ],
     "docs/BENCHMARKS.md": [
         "## `results` entries",
@@ -49,6 +50,7 @@ REQUIRED_SECTIONS: dict[str, list[str]] = {
         "### Decision core (PR 6)",
         "### Determinism gate (PR 7)",
         "### Telemetry (PR 8)",
+        "### Scenario matrix (PR 9)",
         "## `derived` entries",
     ],
     "docs/ANALYSIS.md": [
