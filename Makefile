@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries soak_async soak_telemetry matrix docs_check lint determinism
+.PHONY: test bench bench-experiments soak soak_cluster soak_fabric soak_queries soak_push soak_async soak_telemetry matrix docs_check lint determinism
 
 test:
 	$(PYTHON) -m pytest -q
@@ -20,6 +20,9 @@ soak_fabric:
 
 soak_queries:
 	$(PYTHON) -m repro.workloads.queryload
+
+soak_push:
+	$(PYTHON) -m repro.workloads.queryload push
 
 soak_async:
 	$(PYTHON) -m repro.workloads.decision_core

@@ -270,7 +270,7 @@ def bench_experiment_matrix(results: dict) -> None:
 
 
 def bench_queryload(results: dict) -> None:
-    """Query engine: hot-server cache speedup + invalidation correctness."""
+    """Query engine: hot-server speedup, invalidation, push identity plane."""
     report = QueryLoadBench().run()
     entry = report.as_dict()
     # Headline ops/s: cached decided-flows per simulated second.
@@ -341,6 +341,12 @@ def main() -> int:
         "query_cache_invalidation_ok": all(
             results["query_cache_bench"]["invalidation"].values()
         ),
+        "push_zero_query_ok": results["query_cache_bench"]["push_plane"][
+            "zero_query_ok"
+        ],
+        "push_convergence_beats_pull": results["query_cache_bench"]["push_plane"][
+            "convergence_ok"
+        ],
         "decision_overlap_speedup": results["decision_overlap_bench"]["overlap_speedup"],
         "decision_async_degradation": results["decision_overlap_bench"][
             "async_degradation"
@@ -407,6 +413,18 @@ def main() -> int:
         return 1
     if not results["query_cache_bench"]["gates_ok"]:
         print("FAIL: query-cache gates failed (see query_cache_bench.violations)")
+        return 1
+    if not derived["push_zero_query_ok"]:
+        print(
+            "FAIL: steady-state punts on subscribed hosts issued daemon queries "
+            "(see query_cache_bench.push_plane)"
+        )
+        return 1
+    if not derived["push_convergence_beats_pull"]:
+        print(
+            "FAIL: push-plane convergence after an identity publish did not "
+            "beat the pull TTL path (see query_cache_bench.push_plane)"
+        )
         return 1
     if derived["decision_overlap_speedup"] < OVERLAP_SPEEDUP_FLOOR:
         print(

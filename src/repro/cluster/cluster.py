@@ -45,6 +45,16 @@ from repro.openflow.messages import FlowRemoved, PacketIn
 from repro.openflow.switch import OpenFlowSwitch
 
 
+def identity_key(host_ip) -> str:
+    """Return the ring key for host-level (push subscription) ownership.
+
+    Subscriptions are per *host*, not per flow, so failover re-homing
+    hashes them under their own namespace — every replica resolves the
+    same host to the same live successor.
+    """
+    return f"identity:{host_ip}"
+
+
 class ControllerCluster:
     """N ident++ controller shards, one consistent-hash control plane."""
 
@@ -236,6 +246,24 @@ class ControllerCluster:
         adopter = self._flow_removed_fallback()
         if adopter is not None:
             adopter.adopt_path_installs(dead.export_path_installs())
+        # Re-home the corpse's standing subscriptions *before* its
+        # punts: each successor must be resident (or resident-in-flight)
+        # by the time the re-punted backlog arrives, or the backlog pays
+        # the pull round-trips the push plane exists to remove.  The
+        # re-home is also committed to the coordinator's replay log, so
+        # a shard revived later re-registers interest in the hosts it
+        # owns instead of rebuilding residency from cold punt history.
+        push_records = dead.query_engine.export_push_state()
+        if push_records:
+            by_successor: dict[str, list] = {}
+            for record in push_records:
+                owner = self.shard_map.owner_of_key(identity_key(record["host_ip"]))
+                by_successor.setdefault(owner, []).append(record)
+            for owner, records in by_successor.items():
+                self.replicas[owner].query_engine.adopt_push_state(records)
+            self.coordinator.rehome_subscriptions(
+                [record["host_ip"] for record in push_records], origin_shard=shard
+            )
         repunted_keys: set[str] = set()
         for flow, messages in dead.export_pending():
             successor = self.controller_for(flow)
@@ -309,18 +337,20 @@ class ControllerCluster:
         fan-out at read time); unlike :meth:`summary` it touches only
         integer counters, so it is safe to call on every tick.
         """
-        punts = hits = lookups = 0
+        punts = hits = lookups = subscriptions = 0
         for controller in self.replicas.values():
             punts += int(controller.packet_ins.value)
             engine = controller.query_engine
             hits += engine.hits
             lookups += engine.lookups()
+            subscriptions += engine.subscription_count()
         return {
             "punts": float(punts),
             "pending": float(self.pending_total()),
             "hit_ratio": hits / lookups if lookups else 0.0,
             "failovers": float(self.failovers),
             "live_shards": float(len(self.shard_map.live_shards())),
+            "subscriptions": float(subscriptions),
         }
 
     def pending_total(self) -> int:
@@ -360,6 +390,12 @@ class ControllerCluster:
             "coalesced": sum(e.coalesced for e in engines),
             "negative_hits": sum(e.negative_hits for e in engines),
             "invalidation_events": sum(e.invalidation_events for e in engines),
+            "subscriptions": sum(e.subscription_count() for e in engines),
+            "resident_hits": sum(e.resident_hits for e in engines),
+            "deltas_applied": sum(e.deltas_applied for e in engines),
+            "duplicate_deltas": sum(e.duplicate_deltas for e in engines),
+            "subscriptions_adopted": sum(e.subscriptions_adopted for e in engines),
+            "adoptions_stale": sum(e.adoptions_stale for e in engines),
         }
         lookups = totals["lookups"]
 
@@ -369,6 +405,7 @@ class ControllerCluster:
         totals["hit_rate"] = rate(totals["hits"])
         totals["coalesce_rate"] = rate(totals["coalesced"])
         totals["negative_hit_rate"] = rate(totals["negative_hits"])
+        totals["resident_hit_rate"] = rate(totals["resident_hits"])
         return totals
 
     def summary(self) -> dict[str, object]:

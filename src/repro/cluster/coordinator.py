@@ -42,7 +42,7 @@ class ClusterChangeRecord:
 
     epoch: int
     time: float
-    kind: str  # "policy_reload" | "grant" | "revocation" | "quarantine"
+    kind: str  # "policy_reload" | "grant" | "revocation" | "quarantine" | "subscription_rehome"
     origin_shard: str
     detail: str
     applied_to: tuple[str, ...]
@@ -230,6 +230,41 @@ class ClusterCoordinator:
             return 0
 
         return self._propagate("quarantine", origin_shard, f"host={ip}", apply)
+
+    # ------------------------------------------------------------------
+    # Push-subscription re-homing (failover)
+    # ------------------------------------------------------------------
+
+    def rehome_subscriptions(
+        self, host_ips, *, origin_shard: Optional[str] = None
+    ) -> ClusterChangeRecord:
+        """Commit a failover's subscription re-home to the replay log.
+
+        :meth:`ControllerCluster.fail_over` already handed the dead
+        shard's exported push state to each host's live successor; this
+        records the re-home as a cluster change so (a) the audit trail
+        names which hosts moved and why, and (b) a shard revived later
+        *replays* it at :meth:`resync` — re-registering standing
+        interest in the hosts it now owns instead of rebuilding
+        residency from cold punt history.  The apply closure re-resolves
+        ownership at apply time, so replays always subscribe the
+        current owner, never a snapshot of the ring at failover time.
+        """
+        from repro.cluster.cluster import identity_key
+
+        hosts = tuple(sorted({str(ip) for ip in host_ips}))
+
+        def apply(controller: IdentPPController) -> int:
+            opened = 0
+            for ip in hosts:
+                owner = self.cluster.shard_map.owner_of_key(identity_key(ip))
+                if owner == controller.name and controller.query_engine.subscribe_host(ip):
+                    opened += 1
+            return opened
+
+        return self._propagate(
+            "subscription_rehome", origin_shard, f"hosts={list(hosts)}", apply
+        )
 
     # ------------------------------------------------------------------
     # Propagation + crash recovery

@@ -243,6 +243,23 @@ class ControllerConfig:
     * ``query_negative_ttl`` — lifetime of cached *timeouts* (legacy
       hosts without a daemon, unreachable hosts).  ``None`` mirrors
       ``query_cache_ttl``.
+
+    The identity-plane knobs pick how endpoint answers stay fresh
+    (an A/B switch like ``decision_core``):
+
+    * ``identity_plane`` — ``"pull"`` (the default) keeps the PR 5
+      semantics: answers age out by TTL and every miss queries the
+      daemon.  ``"push"`` additionally promotes hot destination hosts
+      to standing wire-v2 subscriptions: their answers become resident
+      (authoritative until the daemon pushes a delta, zero round trips
+      per punt), while legacy daemons and cold hosts keep the pull
+      path untouched.
+    * ``push_promote_punts`` — punts from a destination host before the
+      controller registers standing interest in it.
+    * ``push_idle_demote`` — idle seconds after which the lifecycle
+      sweeper demotes a subscribed host back to the pull plane.
+    * ``push_max_subscriptions`` — optional hard cap on the
+      subscription table (the bounded-state invariant's knob).
     """
 
     query_keys: tuple[str, ...] = tuple(DEFAULT_QUERY_KEYS)
@@ -266,6 +283,10 @@ class ControllerConfig:
     nonblocking_inbox: bool = False
     query_cache_ttl: float = 0.0
     query_negative_ttl: Optional[float] = None
+    identity_plane: str = "pull"
+    push_promote_punts: int = 3
+    push_idle_demote: float = 30.0
+    push_max_subscriptions: Optional[int] = None
 
 
 class IdentPPController(Controller):
@@ -288,6 +309,11 @@ class IdentPPController(Controller):
                 f"unknown decision_core {self.config.decision_core!r} "
                 "(expected 'async' or 'serial')"
             )
+        if self.config.identity_plane not in ("pull", "push"):
+            raise ControllerError(
+                f"unknown identity_plane {self.config.identity_plane!r} "
+                "(expected 'pull' or 'push')"
+            )
         self.nonblocking_inbox = self.config.nonblocking_inbox
         self.query_client = QueryClient(topology)
         self.query_engine = QueryEngine(
@@ -295,7 +321,15 @@ class IdentPPController(Controller):
             ttl=self.config.query_cache_ttl,
             negative_ttl=self.config.query_negative_ttl,
             name=f"{name}.query-engine",
+            push=self.config.identity_plane == "push",
+            push_idle_demote=self.config.push_idle_demote,
+            push_max_subscriptions=self.config.push_max_subscriptions,
         )
+        # Punt tallies per destination IP feeding hot-host promotion;
+        # reset on demotion so a host re-earns residency from fresh
+        # history, not a stale pre-demotion count.
+        self._push_punt_counts: dict[str, int] = {}
+        self.query_engine.on_demote = lambda ip: self._push_punt_counts.pop(ip, None)
         self.cache = DecisionCache(
             ttl=self.config.decision_ttl, capacity=self.config.cache_capacity
         )
@@ -364,6 +398,15 @@ class IdentPPController(Controller):
             self._uncovered_pending_count,
             self._next_pending_deadline,
         )
+        if self.config.identity_plane == "push":
+            # Standing subscriptions idle out like the other per-flow
+            # state; the sweeper demotes them back to the pull plane.
+            self.lifecycle.register(
+                "subscriptions",
+                self.query_engine.demote_idle,
+                self.query_engine.demotable_count,
+                self.query_engine.next_demotion,
+            )
         self.attach(topology.sim)
 
     # ------------------------------------------------------------------
@@ -475,6 +518,8 @@ class IdentPPController(Controller):
                 label=f"{self.name}:pending-deadline",
             )
         self.lifecycle.kick()
+        if self.config.identity_plane == "push":
+            self._note_punt_for_promotion(flow, message.switch, arrival)
 
         task = DecisionTask(flow=flow, arrival=arrival, switch=message.switch)
         self._inflight[flow] = task
@@ -492,6 +537,28 @@ class IdentPPController(Controller):
         Future.gather(self._dispatch_queries_async(flow, message.switch)).add_done_callback(
             lambda outcomes, task=task: self._answers_ready(task, outcomes)
         )
+
+    def _note_punt_for_promotion(
+        self, flow: FlowSpec, switch: OpenFlowSwitch, arrival: float
+    ) -> None:
+        """Tally one punt against the destination; promote when hot.
+
+        A destination punted ``push_promote_punts`` times earns a
+        standing subscription: its answers become resident and later
+        punts stop costing daemon round-trips.  A refused subscription
+        (legacy daemon) leaves the tally in place — the engine memoizes
+        the refusing daemon object, so re-attempts are free and a
+        daemon *upgrade* is noticed on the next punt.
+        """
+        ip = str(flow.dst_ip)
+        engine = self.query_engine
+        if engine.is_subscribed(ip):
+            return
+        count = self._push_punt_counts.get(ip, 0) + 1
+        self._push_punt_counts[ip] = count
+        if count >= self.config.push_promote_punts:
+            if engine.subscribe_host(ip, from_node=switch, now=arrival):
+                del self._push_punt_counts[ip]
 
     def _query_endpoints(self, flow: FlowSpec, switch: OpenFlowSwitch) -> list[QueryOutcome]:
         """Issue the ident++ queries for a flow (both ends, or source only).
@@ -1327,6 +1394,10 @@ class IdentPPController(Controller):
         )
         for cookie in sorted(self.cache.cookies_for_host(ip)):
             self.revoke_decision(cookie)
+        # A subscribed host must be demoted first: resident answers are
+        # authoritative-until-delta, so invalidate_host alone would
+        # leave them serving for a host we no longer trust.
+        self.query_engine.unsubscribe_host(ip)
         self.query_engine.invalidate_host(ip, reason="quarantine")
         cookie = f"quarantine:{ip}"
         for switch in self.switches():
@@ -1360,6 +1431,7 @@ class IdentPPController(Controller):
                    if k not in ("entries", "hit_rate")},
             },
             "state_table": self.cache.state_table.stats(),
+            "identity_plane": self.config.identity_plane,
             "query_engine": self.query_engine.stats(),
             "lifecycle": self.lifecycle.stats(),
             "pending_flows": len(self._pending),

@@ -34,11 +34,17 @@ from repro.identpp.daemon_config import DaemonConfig
 from repro.identpp.flowspec import FlowSpec
 from repro.identpp.keyvalue import KeyValueSection, ResponseDocument
 from repro.identpp.wire import (
+    CAP_SUBSCRIBE,
     IDENT_PP_PORT,
     ROLE_DESTINATION,
     ROLE_SOURCE,
+    WIRE_VERSION_PULL,
+    WIRE_VERSION_PUSH,
+    IdentDelta,
     IdentQuery,
     IdentResponse,
+    IdentSubscribe,
+    IdentSubscribeAck,
     parse_query_packet,
 )
 from repro.netsim.packet import Packet
@@ -111,9 +117,14 @@ class IdentPPDaemon:
         processing_delay: float = DEFAULT_PROCESSING_DELAY,
         host_facts: Optional[dict[str, str]] = None,
         serialize: bool = False,
+        push_capable: bool = True,
     ) -> None:
         self.host = host
         self.processing_delay = processing_delay
+        #: Wire-version-2 daemons accept SUBSCRIBE and publish deltas;
+        #: legacy (v1) daemons refuse the handshake and the controller
+        #: falls back to the pull path untouched.
+        self.push_capable = push_capable
         #: §3.5's "simple userspace ident++ daemon" is a serial process:
         #: with ``serialize`` on, each answer occupies the daemon for
         #: ``processing_delay``, so a flash crowd's queries queue behind
@@ -134,9 +145,17 @@ class IdentPPDaemon:
         self.spoofed_pairs: Optional[dict[str, str]] = None
         self.queries_answered = Counter(f"{host.name}.identpp.queries_answered")
         self.queries_failed = Counter(f"{host.name}.identpp.queries_failed")
+        self.deltas_published = Counter(f"{host.name}.identpp.deltas_published")
         # Controller-side endpoint caches (QueryEngine) register here to
         # hear about anything that changes future answers.
         self._invalidation_listeners: list[Callable[[str], None]] = []
+        #: Standing push subscriptions: subscriber name → delta sink.
+        self._delta_subscribers: dict[str, Callable[[IdentDelta], None]] = {}
+        #: Serial number of the *last* identity change this daemon saw.
+        #: Bumped on every invalidation — subscribers or not — so a
+        #: controller re-subscribing after failover can tell from the
+        #: ack's serial whether it missed deltas during the gap.
+        self.delta_serial = 0
         # Register on TCP 783 so queries arriving over the network reach us.
         host.register_service(IDENT_PP_PORT, self._service_handler)
         # Make the daemon discoverable by the query client / controllers.
@@ -185,13 +204,82 @@ class IdentPPDaemon:
         if listener not in self._invalidation_listeners:
             self._invalidation_listeners.append(listener)
 
+    def remove_invalidation_listener(self, listener: Callable[[str], None]) -> None:
+        """Unregister an invalidation callback (no-op when absent).
+
+        An engine dropping its interest in this host must call this, or
+        the daemon keeps a strong reference to the dead engine's closure
+        forever — the stale-subscription leak the push plane's demotion
+        path exists to prevent.
+        """
+        try:
+            self._invalidation_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def notify_invalidation(self, reason: str) -> None:
-        """Tell every subscribed endpoint cache to drop this host's answers."""
+        """Tell every subscribed endpoint cache to drop this host's answers.
+
+        Every invalidation is also one identity *delta*: the serial is
+        bumped unconditionally (even with no subscribers, so a later
+        subscriber's baseline reflects changes it never saw), and each
+        standing push subscription receives an :class:`IdentDelta`
+        carrying the new serial.
+        """
+        self.delta_serial += 1
         for listener in list(self._invalidation_listeners):
             listener(reason)
+        if self._delta_subscribers:
+            delta = IdentDelta(
+                host_ip=str(self.host.ip), serial=self.delta_serial, reason=reason,
+            )
+            for deliver in list(self._delta_subscribers.values()):
+                self.deltas_published.increment()
+                deliver(delta)
 
     def _on_socket_change(self) -> None:
         self.notify_invalidation("socket-table")
+
+    # ------------------------------------------------------------------
+    # Push subscriptions (wire version 2)
+    # ------------------------------------------------------------------
+
+    def capabilities(self) -> tuple[str, ...]:
+        """Return the wire capabilities this daemon advertises."""
+        return (CAP_SUBSCRIBE,) if self.push_capable else ()
+
+    def subscribe(
+        self, message: IdentSubscribe, deliver: Callable[[IdentDelta], None]
+    ) -> IdentSubscribeAck:
+        """Handle a SUBSCRIBE: capability negotiation plus registration.
+
+        A push-capable daemon accepts a version-2 SUBSCRIBE, registers
+        ``deliver`` as the subscriber's delta sink (latest registration
+        per subscriber name wins) and acks with its current
+        :attr:`delta_serial` as the subscriber's baseline.  A legacy
+        daemon — or a downlevel SUBSCRIBE — is refused with a version-1
+        ack carrying no capabilities, which tells the controller to keep
+        using the pull path.
+        """
+        if not self.push_capable or message.version < WIRE_VERSION_PUSH:
+            return IdentSubscribeAck(
+                host_ip=str(self.host.ip), accepted=False,
+                capabilities=(), version=WIRE_VERSION_PULL, serial=0,
+            )
+        self._delta_subscribers[message.subscriber] = deliver
+        return IdentSubscribeAck(
+            host_ip=str(self.host.ip), accepted=True,
+            capabilities=self.capabilities(), version=WIRE_VERSION_PUSH,
+            serial=self.delta_serial,
+        )
+
+    def unsubscribe(self, subscriber: str) -> bool:
+        """Cancel one subscriber's standing interest; True when it existed."""
+        return self._delta_subscribers.pop(subscriber, None) is not None
+
+    def subscriber_count(self) -> int:
+        """Return how many standing push subscriptions this daemon holds."""
+        return len(self._delta_subscribers)
 
     # ------------------------------------------------------------------
     # Answering queries

@@ -48,6 +48,20 @@ A TTL of ``0`` disables the engine entirely (every call passes straight
 through to the client), which is the default wiring so existing
 scenario timelines are unchanged; benchmarks and production configs
 opt in via ``ControllerConfig.query_cache_ttl``.
+
+**The push identity plane** (``push=True``) inverts the dataflow for
+*subscribed* hosts: instead of pulling on every miss and aging answers
+out by TTL, the engine registers standing interest with the host's
+daemon (wire-v2 SUBSCRIBE, capability-negotiated — a legacy daemon
+refuses and the pull path above applies untouched) and keeps the host's
+shareable destination answers in a **resident store**.  Resident
+answers are authoritative-until-delta: they never expire, punts on them
+are served synchronously with **zero** daemon round-trips, and when the
+daemon pushes a serial-numbered :class:`IdentDelta` the engine drops
+and proactively *re-primes* each resident answer off the punt path — so
+convergence after an identity change costs the first post-change punt
+nothing, where the TTL plane charges it a full round trip.
+Unsubscribed hosts keep the PR 5 semantics above exactly.
 """
 
 from __future__ import annotations
@@ -57,6 +71,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
+from typing import Callable
+
 from repro.identpp.client import (
     QueryClient,
     QueryInterceptor,
@@ -64,11 +80,22 @@ from repro.identpp.client import (
     per_role_interceptors,
 )
 from repro.identpp.flowspec import FlowSpec
-from repro.identpp.wire import IdentQuery, ROLE_DESTINATION, ROLE_SOURCE
+from repro.identpp.wire import (
+    CAP_SUBSCRIBE,
+    IdentDelta,
+    IdentQuery,
+    IdentSubscribe,
+    ROLE_DESTINATION,
+    ROLE_SOURCE,
+)
 from repro.netsim.events import Future
 
 #: Default TTL benchmarks/workloads use when they enable the engine.
 DEFAULT_QUERY_CACHE_TTL = 30.0
+
+#: Default idle window after which a subscribed host is demoted back to
+#: the pull plane by the lifecycle sweeper.
+DEFAULT_PUSH_IDLE_DEMOTE = 30.0
 
 
 @dataclass
@@ -108,6 +135,29 @@ class CacheEntry:
     arrival_armed: bool = False
 
 
+@dataclass
+class PushSubscription:
+    """One standing subscription: host, daemon ref, delta position.
+
+    ``daemon`` is a strong reference to the exact object the engine
+    registered on (host-ip → daemon-ref keying, like the invalidation
+    subscriptions): a *replaced* daemon on the same IP compares
+    non-identical, so closing always reaches the object that holds our
+    sink and can never strand a subscription on a dead daemon.
+    ``serial`` is the last delta serial applied; a gap against the
+    daemon's serial after failover means deltas were missed.
+    """
+
+    host_ip: str
+    daemon: object
+    serial: int
+    subscribed_at: float
+    last_hit: float
+    from_node: object = None
+    deltas_applied: int = 0
+    duplicate_deltas: int = 0
+
+
 class QueryEngine:
     """Caching, coalescing front-end for one controller's ident++ queries."""
 
@@ -118,6 +168,9 @@ class QueryEngine:
         ttl: float = 0.0,
         negative_ttl: Optional[float] = None,
         name: str = "query-engine",
+        push: bool = False,
+        push_idle_demote: float = DEFAULT_PUSH_IDLE_DEMOTE,
+        push_max_subscriptions: Optional[int] = None,
     ) -> None:
         self.client = client
         self.name = name
@@ -126,6 +179,16 @@ class QueryEngine:
         #: rolling daemons out incrementally (§4) may want it shorter so
         #: newly daemon'd hosts are noticed faster.
         self.negative_ttl = negative_ttl if negative_ttl is not None else ttl
+        #: The push identity plane: subscribe-and-push for hot hosts.
+        self.push = push
+        self.push_idle_demote = push_idle_demote
+        #: Hard cap on the subscription table (bounded-state invariant);
+        #: ``None`` means unbounded.
+        self.push_max_subscriptions = push_max_subscriptions
+        #: Called with the host IP whenever a subscription is closed, so
+        #: the controller can reset that host's promotion counter (a
+        #: demoted host must re-earn residency from fresh punt history).
+        self.on_demote: Optional[Callable[[str], None]] = None
         self._entries: dict[tuple, CacheEntry] = {}
         # Lazily-invalidated min-heap of (expires_at, seq, key) so TTL
         # sweeps and deadline queries cost O(log n), not a full scan
@@ -133,11 +196,23 @@ class QueryEngine:
         # stays the source of truth, stale heap records are skipped).
         self._deadlines: list[tuple[float, int, tuple]] = []
         self._seq = itertools.count()
-        # Daemons already carrying one of our invalidation listeners,
-        # keyed by host IP with the daemon held strongly: a *replaced*
-        # daemon on the same host compares non-identical and gets a
-        # fresh subscription (an id()-based set could alias after GC).
-        self._subscribed: dict[str, object] = {}
+        # Daemons already carrying one of our invalidation listeners:
+        # host IP → (daemon, listener), the daemon held strongly — a
+        # *replaced* daemon on the same host compares non-identical and
+        # gets a fresh subscription (an id()-based set could alias after
+        # GC) — and the listener kept so it can be unregistered again.
+        self._subscribed: dict[str, tuple[object, Callable[[str], None]]] = {}
+        #: The resident store: never-expiring authoritative answers for
+        #: subscribed hosts, keyed like :attr:`_entries` but *not* in
+        #: the deadline heap (resident answers are dropped by deltas and
+        #: demotion, never by a TTL sweep).
+        self._resident: dict[tuple, CacheEntry] = {}
+        #: Standing subscriptions by host IP.
+        self._subs: dict[str, PushSubscription] = {}
+        #: Daemons that refused our SUBSCRIBE (legacy, wire v1), keyed
+        #: host-ip → refusing daemon object: the same object is never
+        #: re-knocked, but a *replaced* (possibly upgraded) daemon is.
+        self._push_refused: dict[str, object] = {}
         self.hits = 0
         self.misses = 0
         self.coalesced = 0
@@ -146,6 +221,15 @@ class QueryEngine:
         self.invalidation_events = 0
         self.invalidated_entries = 0
         self.expirations = 0
+        self.resident_hits = 0
+        self.resident_fills = 0
+        self.resident_refreshes = 0
+        self.deltas_applied = 0
+        self.duplicate_deltas = 0
+        self.subscriptions_opened = 0
+        self.subscriptions_closed = 0
+        self.subscriptions_adopted = 0
+        self.adoptions_stale = 0
 
     # ------------------------------------------------------------------
     # Queries
@@ -154,7 +238,7 @@ class QueryEngine:
     @property
     def enabled(self) -> bool:
         """Return whether the engine does anything beyond pass-through."""
-        return self.ttl > 0.0 or self.negative_ttl > 0.0
+        return self.ttl > 0.0 or self.negative_ttl > 0.0 or self.push
 
     def query(
         self,
@@ -184,6 +268,15 @@ class QueryEngine:
             )
         now = self._now(now)
         key = self._key(flow, role, keys)
+        resident = self._resident.get(key)
+        if resident is not None:
+            # Subscribed host: the resident answer is authoritative and
+            # costs zero round trips (or, mid-refresh, the remainder of
+            # the delta-triggered re-prime already in flight).
+            outcome = self._serve(resident, flow, role, keys, now)
+            if not outcome.coalesced:
+                self._note_resident_hit(resident, now)
+            return outcome
         entry = self._entries.get(key)
         if entry is not None and not self._valid(entry, now):
             del self._entries[key]
@@ -274,6 +367,15 @@ class QueryEngine:
         future = Future()
         now = self._now(now)
         key = self._key(flow, role, keys)
+        resident = self._resident.get(key)
+        if resident is not None:
+            outcome = self._serve(resident, flow, role, keys, now)
+            if outcome.coalesced:
+                self._enlist(resident, future, outcome, now)
+            else:
+                self._note_resident_hit(resident, now)
+                future.set_result(outcome)
+            return future
         entry = self._entries.get(key)
         if entry is not None and not self._valid(entry, now):
             del self._entries[key]
@@ -293,7 +395,7 @@ class QueryEngine:
             flow, role, from_node=from_node, keys=keys, interceptors=interceptors
         )
         self._fill(key, outcome, now)
-        entry = self._entries.get(key)
+        entry = self._entries.get(key) or self._resident.get(key)
         sim = self.client.topology.sim
         if entry is not None and sim is not None and entry.ready_at > now:
             # The filler waits on the very entry it created, through the
@@ -475,7 +577,7 @@ class QueryEngine:
             )
             heapq.heappush(self._deadlines, (expires_at, next(self._seq), key))
             return
-        if self.ttl <= 0.0:
+        if self.ttl <= 0.0 and not self.push:
             return
         daemon = getattr(self.client.topology.node_for_ip(host_ip), "identpp_daemon", None)
         # Source answers name the one process that opened the flow, and
@@ -487,6 +589,22 @@ class QueryEngine:
             or daemon is None
             or not daemon.answer_is_shareable(outcome.query)
         )
+        if self.push and not flow_scoped and host_ip in self._subs:
+            # Subscribed host: the fresh shareable answer becomes
+            # *resident* — authoritative until the daemon pushes a
+            # delta, never TTL-expired, kept out of the deadline heap.
+            self._resident[key] = CacheEntry(
+                key=key,
+                host_ip=host_ip,
+                outcome=outcome,
+                ready_at=ready_at,
+                expires_at=float("inf"),
+            )
+            self.resident_fills += 1
+            self._subscribe(host_ip, daemon)
+            return
+        if self.ttl <= 0.0:
+            return
         expires_at = ready_at + self.ttl
         self._entries[key] = CacheEntry(
             key=key,
@@ -500,15 +618,305 @@ class QueryEngine:
         if daemon is not None:
             self._subscribe(host_ip, daemon)
 
+    def _note_resident_hit(self, entry: CacheEntry, now: float) -> None:
+        """Count one resident-store hit and refresh the host's idle clock."""
+        self.resident_hits += 1
+        sub = self._subs.get(entry.host_ip)
+        if sub is not None:
+            sub.last_hit = now
+
     def _subscribe(self, host_ip: str, daemon) -> None:
         """Hook this engine into the answering daemon's invalidation fan-out."""
         ip = str(host_ip)
-        if self._subscribed.get(ip) is daemon:
+        current = self._subscribed.get(ip)
+        if current is not None and current[0] is daemon:
             return
-        self._subscribed[ip] = daemon
-        daemon.add_invalidation_listener(
-            lambda reason, _ip=ip: self.invalidate_host(_ip, reason)
+        if current is not None:
+            # The host's daemon was replaced: unhook from the old object
+            # so it cannot strand a listener on the dead daemon.
+            current[0].remove_invalidation_listener(current[1])
+
+        def listener(reason: str, _ip=ip) -> None:
+            self.invalidate_host(_ip, reason)
+
+        self._subscribed[ip] = (daemon, listener)
+        daemon.add_invalidation_listener(listener)
+
+    def _unlisten(self, host_ip: str) -> None:
+        """Unregister this engine's invalidation listener from one daemon."""
+        record = self._subscribed.pop(str(host_ip), None)
+        if record is not None:
+            daemon, listener = record
+            daemon.remove_invalidation_listener(listener)
+
+    # ------------------------------------------------------------------
+    # Push plane: standing subscriptions + the resident store
+    # ------------------------------------------------------------------
+
+    def subscribe_host(
+        self, host_ip, *, from_node=None, now: Optional[float] = None
+    ) -> bool:
+        """Open (or confirm) a standing subscription on one host's daemon.
+
+        Returns ``True`` when the host is subscribed after the call.
+        Refusals — push plane off, no daemon on the host, a legacy
+        wire-v1 daemon, or the subscription table at
+        :attr:`push_max_subscriptions` — return ``False``.  A refusing
+        daemon *object* is remembered and never re-knocked, but a
+        replaced (possibly upgraded) daemon on the same IP gets a fresh
+        attempt, mirroring the host-ip → daemon-ref keying of the
+        invalidation listeners.
+        """
+        if not self.push:
+            return False
+        ip = str(host_ip)
+        daemon = getattr(self.client.topology.node_for_ip(ip), "identpp_daemon", None)
+        if daemon is None:
+            return False
+        now = self._now(now)
+        existing = self._subs.get(ip)
+        if existing is not None:
+            if existing.daemon is daemon:
+                return True
+            # The daemon was replaced: our delta sink lives on an object
+            # no longer attached to the host.  Close the dead
+            # subscription (and its now-unauthoritative answers) and
+            # negotiate with the new daemon from scratch.
+            existing.daemon.unsubscribe(self.name)
+            self._drop_resident(ip)
+            del self._subs[ip]
+        if self._push_refused.get(ip) is daemon:
+            return False
+        if (
+            self.push_max_subscriptions is not None
+            and len(self._subs) >= self.push_max_subscriptions
+        ):
+            return False
+        ack = daemon.subscribe(
+            IdentSubscribe(
+                host_ip=ip, subscriber=self.name, keys=self.client.default_keys
+            ),
+            self._on_delta,
         )
+        if not ack.accepted or CAP_SUBSCRIBE not in ack.capabilities:
+            self._push_refused[ip] = daemon
+            return False
+        self._subs[ip] = PushSubscription(
+            host_ip=ip,
+            daemon=daemon,
+            serial=ack.serial,
+            subscribed_at=now,
+            last_hit=now,
+            from_node=from_node,
+        )
+        self.subscriptions_opened += 1
+        self._subscribe(ip, daemon)
+        # Shareable answers fetched just before the promotion are still
+        # authoritative — any daemon event since their fill would have
+        # dropped them through the invalidation listener — so upgrade
+        # them in place.  The flash-crowd case depends on this: the hot
+        # answer usually fills on the punt *before* the one that trips
+        # the promotion threshold, and without the upgrade the first
+        # steady-state wave would pay one more TTL round-trip.
+        for key, entry in list(self._entries.items()):
+            if entry.host_ip != ip or entry.negative or entry.flow_scoped:
+                continue
+            if now >= entry.expires_at:
+                continue
+            del self._entries[key]
+            entry.expires_at = float("inf")
+            self._resident[key] = entry
+            self.resident_fills += 1
+        return True
+
+    def unsubscribe_host(self, host_ip) -> bool:
+        """Close a standing subscription and drop its resident answers.
+
+        The daemon-side delta sink is always cancelled, and when the
+        host has no TTL entries left either, the invalidation listener
+        is unregistered too — a demoted host strands nothing on its
+        daemon (the stale-subscription leak fix).  Fires
+        :attr:`on_demote` so the controller can reset the host's
+        promotion counter.  Returns ``True`` when a subscription
+        existed.
+        """
+        ip = str(host_ip)
+        sub = self._subs.pop(ip, None)
+        if sub is None:
+            return False
+        sub.daemon.unsubscribe(self.name)
+        self._drop_resident(ip)
+        if not any(entry.host_ip == ip for entry in self._entries.values()):
+            self._unlisten(ip)
+        self.subscriptions_closed += 1
+        if self.on_demote is not None:
+            self.on_demote(ip)
+        return True
+
+    def _drop_resident(self, host_ip: str) -> int:
+        """Evict one host's resident answers; returns how many."""
+        ip = str(host_ip)
+        stale = [key for key, entry in self._resident.items() if entry.host_ip == ip]
+        for key in stale:
+            del self._resident[key]
+        return len(stale)
+
+    def _on_delta(self, delta: IdentDelta) -> None:
+        """Apply one pushed delta: drop + proactively re-prime residents.
+
+        Deltas are serial-numbered by the daemon; one at or below the
+        subscription's last applied serial is a duplicate (e.g.
+        re-delivered around a failover re-home) and is dropped — the
+        refresh it would trigger already happened.
+        """
+        sub = self._subs.get(str(delta.host_ip))
+        if sub is None:
+            return
+        if delta.serial <= sub.serial:
+            self.duplicate_deltas += 1
+            sub.duplicate_deltas += 1
+            return
+        sub.serial = delta.serial
+        sub.deltas_applied += 1
+        self.deltas_applied += 1
+        now = self._now(None)
+        for entry in [e for e in self._resident.values() if e.host_ip == sub.host_ip]:
+            self._refresh_resident(sub, entry, now)
+
+    def _refresh_resident(
+        self, sub: PushSubscription, entry: CacheEntry, now: float
+    ) -> None:
+        """Replace one resident answer off the punt path.
+
+        The re-query is issued the instant the delta arrives, so by the
+        time the next punt lands the refreshed answer is either ready
+        (zero wait) or still in flight (the punt coalesces onto the
+        remainder) — this is what makes push convergence beat the TTL
+        plane, whose first post-change punt pays the full round trip.
+        An answer that stopped being shareable (or a vanished daemon)
+        ends residency for that key; the pull path takes over.
+        """
+        self.resident_refreshes += 1
+        query = entry.outcome.query
+        outcome = self.client.query(
+            query.flow, query.target_role, from_node=sub.from_node, keys=query.keys
+        )
+        daemon = getattr(
+            self.client.topology.node_for_ip(entry.host_ip), "identpp_daemon", None
+        )
+        if (
+            outcome.timed_out
+            or outcome.intercepted
+            or daemon is None
+            or not daemon.answer_is_shareable(outcome.query)
+        ):
+            self._resident.pop(entry.key, None)
+            return
+        self._resident[entry.key] = CacheEntry(
+            key=entry.key,
+            host_ip=entry.host_ip,
+            outcome=outcome,
+            ready_at=now + outcome.latency,
+            expires_at=float("inf"),
+        )
+
+    def demote_idle(self, now: float) -> int:
+        """Demote subscriptions idle past ``push_idle_demote`` (sweep hook)."""
+        if not self.push:
+            return 0
+        idle = [
+            ip
+            for ip, sub in self._subs.items()
+            if now - max(sub.last_hit, sub.subscribed_at) >= self.push_idle_demote
+        ]
+        for ip in idle:
+            self.unsubscribe_host(ip)
+        return len(idle)
+
+    def demotable_count(self) -> int:
+        """Return how many subscriptions a sweep could ever demote."""
+        return len(self._subs)
+
+    def next_demotion(self) -> Optional[float]:
+        """Return the earliest instant a subscription can go idle-demoted."""
+        if not self._subs:
+            return None
+        return min(
+            max(sub.last_hit, sub.subscribed_at) + self.push_idle_demote
+            for sub in self._subs.values()
+        )
+
+    # ------------------------------------------------------------------
+    # Push plane: failover hand-off
+    # ------------------------------------------------------------------
+
+    def export_push_state(self) -> list[dict]:
+        """Tear down every subscription for failover hand-off.
+
+        Returns one record per subscription — host, last applied delta
+        serial, the querying node and the resident entries — in the
+        shape :meth:`adopt_push_state` consumes on the successor shard.
+        The dying engine's delta sinks and invalidation listeners are
+        all unregistered, so re-homing never leaves a daemon streaming
+        deltas at a dead shard.
+        """
+        records: list[dict] = []
+        for ip in list(self._subs):
+            sub = self._subs.pop(ip)
+            sub.daemon.unsubscribe(self.name)
+            entries = [
+                self._resident.pop(key)
+                for key, entry in list(self._resident.items())
+                if entry.host_ip == ip
+            ]
+            self._unlisten(ip)
+            records.append(
+                {
+                    "host_ip": ip,
+                    "serial": sub.serial,
+                    "from_node": sub.from_node,
+                    "entries": entries,
+                }
+            )
+        return records
+
+    def adopt_push_state(self, records, *, now: Optional[float] = None) -> int:
+        """Re-home exported subscriptions onto this engine (failover).
+
+        For each record the successor opens its *own* subscription, then
+        compares delta serials: if the daemon published nothing since
+        the dead shard's last applied delta, the exported resident
+        answers install verbatim (no deltas were lost, and the serial
+        guard in :meth:`_on_delta` rejects any replayed ones); if the
+        serials diverged, the answers are conservatively re-primed
+        through :meth:`_refresh_resident`, so the successor is resident
+        — or resident-in-flight — before the re-punted backlog arrives.
+        Returns how many subscriptions were adopted.
+        """
+        if not self.push:
+            return 0
+        now = self._now(now)
+        adopted = 0
+        for record in records:
+            ip = str(record["host_ip"])
+            if not self.subscribe_host(ip, from_node=record.get("from_node"), now=now):
+                continue
+            adopted += 1
+            self.subscriptions_adopted += 1
+            sub = self._subs[ip]
+            fresh = sub.serial == record["serial"]
+            if not fresh:
+                self.adoptions_stale += 1
+            for entry in record["entries"]:
+                # The dead engine's parked continuations must not
+                # transfer: its futures belong to decision tasks that
+                # were exported separately (or died with the shard).
+                entry.waiters = []
+                entry.arrival_armed = False
+                self._resident[entry.key] = entry
+                if not fresh:
+                    self._refresh_resident(sub, entry, now)
+        return adopted
 
     # ------------------------------------------------------------------
     # Invalidation + expiry
@@ -520,19 +928,34 @@ class QueryEngine:
         Called by daemon-side events — runtime-key publishes, socket
         owner changes, spoofing, host compromise — and usable directly
         by an administrator.  Returns how many entries were removed.
+
+        A *subscribed* host's resident answers are left in place: they
+        are authoritative-until-delta, and every daemon event that calls
+        this also publishes a delta that drops and re-primes them.
+        Administrative invalidation of a subscribed host must therefore
+        go through :meth:`unsubscribe_host` first, as
+        ``Controller.quarantine_host`` does.
         """
         ip = str(host_ip)
         stale = [key for key, entry in self._entries.items() if entry.host_ip == ip]
         for key in stale:
             del self._entries[key]
+        removed = len(stale)
+        if ip not in self._subs:
+            removed += self._drop_resident(ip)
         self.invalidation_events += 1
-        self.invalidated_entries += len(stale)
-        return len(stale)
+        self.invalidated_entries += removed
+        return removed
 
     def clear(self) -> int:
-        """Drop every entry; returns how many were removed."""
-        removed = len(self._entries)
+        """Drop every entry (TTL and resident); returns how many were removed.
+
+        Subscriptions stay open: the next punt on a subscribed host
+        re-primes its resident answers.
+        """
+        removed = len(self._entries) + len(self._resident)
         self._entries.clear()
+        self._resident.clear()
         self._deadlines.clear()
         return removed
 
@@ -581,6 +1004,23 @@ class QueryEngine:
         """Return how many queries were requested through the engine."""
         return self.hits + self.misses + self.coalesced + self.negative_hits
 
+    def subscription_count(self) -> int:
+        """Return how many standing push subscriptions are open."""
+        return len(self._subs)
+
+    def is_subscribed(self, host_ip) -> bool:
+        """Return whether ``host_ip`` has a standing push subscription."""
+        return str(host_ip) in self._subs
+
+    def push_telemetry(self) -> dict[str, float]:
+        """Return the push-plane probe values (cheap, sampled per tick)."""
+        total = self.lookups()
+        return {
+            "resident_ratio": self.resident_hits / total if total else 0.0,
+            "subscriptions": float(len(self._subs)),
+            "deltas_applied": float(self.deltas_applied),
+        }
+
     def telemetry_ratios(self) -> dict[str, float]:
         """Return just the hit/negative/coalesce ratios.
 
@@ -621,6 +1061,19 @@ class QueryEngine:
             "expirations": self.expirations,
             "ttl": self.ttl,
             "negative_ttl": self.negative_ttl,
+            "push": self.push,
+            "resident_entries": len(self._resident),
+            "subscriptions": len(self._subs),
+            "resident_hits": self.resident_hits,
+            "resident_fills": self.resident_fills,
+            "resident_refreshes": self.resident_refreshes,
+            "resident_hit_rate": rate(self.resident_hits),
+            "deltas_applied": self.deltas_applied,
+            "duplicate_deltas": self.duplicate_deltas,
+            "subscriptions_opened": self.subscriptions_opened,
+            "subscriptions_closed": self.subscriptions_closed,
+            "subscriptions_adopted": self.subscriptions_adopted,
+            "adoptions_stale": self.adoptions_stale,
         }
 
     def __repr__(self) -> str:

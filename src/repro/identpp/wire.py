@@ -57,6 +57,17 @@ DEFAULT_QUERY_KEYS = (
     "req-sig",
 )
 
+#: Wire protocol versions.  Version 1 is the paper's pull-only
+#: query/response exchange above; version 2 adds the standing
+#: SUBSCRIBE / DELTA / UNSUBSCRIBE messages of the push identity plane.
+#: A v2 controller talking to a v1 daemon negotiates down to pull —
+#: legacy fleets keep working unchanged.
+WIRE_VERSION_PULL = 1
+WIRE_VERSION_PUSH = 2
+
+#: Capability token a push-capable daemon advertises in its SUBSCRIBE-ACK.
+CAP_SUBSCRIBE = "subscribe"
+
 
 def _first_line(flow: FlowSpec) -> str:
     return f"{flow.proto_name().upper()} {flow.src_port} {flow.dst_port}"
@@ -154,6 +165,167 @@ class IdentResponse:
         reply.payload = self.to_payload()
         reply.metadata = {"identpp": "response", "responder": self.responder}
         return reply
+
+
+# ----------------------------------------------------------------------
+# Push-plane messages (wire version 2)
+# ----------------------------------------------------------------------
+
+@dataclass
+class IdentSubscribe:
+    """A standing-interest registration against one host's daemon.
+
+    The controller (named ``subscriber``) asks the daemon on ``host_ip``
+    to push an :class:`IdentDelta` whenever any of ``keys`` may have
+    changed.  ``version`` carries the sender's wire version so a legacy
+    (v1) daemon can refuse with a downgraded ack instead of guessing.
+    """
+
+    host_ip: str
+    subscriber: str
+    keys: tuple[str, ...] = field(default_factory=lambda: tuple(DEFAULT_QUERY_KEYS))
+    version: int = WIRE_VERSION_PUSH
+
+    def __post_init__(self) -> None:
+        self.host_ip = str(self.host_ip)
+        self.keys = tuple(self.keys)
+        if not self.subscriber or any(ch.isspace() for ch in self.subscriber):
+            raise WireFormatError(f"invalid ident++ subscriber name: {self.subscriber!r}")
+
+    def to_payload(self) -> str:
+        lines = [f"SUBSCRIBE {self.version} {self.subscriber}"]
+        lines.extend(self.keys)
+        return "\n".join(lines)
+
+
+@dataclass
+class IdentSubscribeAck:
+    """The daemon's answer to an :class:`IdentSubscribe`.
+
+    ``accepted`` is the capability negotiation result: a push-capable
+    daemon accepts and advertises :data:`CAP_SUBSCRIBE`; a legacy daemon
+    answers ``accepted=False`` at ``version=1`` with no capabilities,
+    telling the controller to fall back to the pull path.  ``serial`` is
+    the daemon's current delta serial — the subscriber's baseline, so
+    the first delta it must apply is ``serial + 1``.
+    """
+
+    host_ip: str
+    accepted: bool
+    capabilities: tuple[str, ...] = ()
+    version: int = WIRE_VERSION_PUSH
+    serial: int = 0
+
+    def __post_init__(self) -> None:
+        self.host_ip = str(self.host_ip)
+        self.capabilities = tuple(self.capabilities)
+
+    def to_payload(self) -> str:
+        status = "ok" if self.accepted else "refused"
+        lines = [f"SUBSCRIBE-ACK {self.version} {status} {self.serial}"]
+        lines.extend(self.capabilities)
+        return "\n".join(lines)
+
+
+@dataclass
+class IdentDelta:
+    """One pushed identity change: (host, key-set), serial-numbered.
+
+    ``serial`` totally orders one daemon's deltas; a subscriber that
+    sees ``serial <= last_applied`` drops the message as a duplicate,
+    and a gap after failover means deltas were missed and the resident
+    answers must be re-primed.  An empty ``keys`` tuple means "the
+    whole identity document may have changed".
+    """
+
+    host_ip: str
+    serial: int
+    reason: str = ""
+    keys: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.host_ip = str(self.host_ip)
+        self.keys = tuple(self.keys)
+        if self.serial < 0:
+            raise WireFormatError(f"ident++ delta serial must be >= 0: {self.serial}")
+
+    def to_payload(self) -> str:
+        reason = self.reason or "-"
+        if any(ch.isspace() for ch in reason):
+            reason = reason.replace(" ", "_")
+        lines = [f"DELTA {self.serial} {reason}"]
+        lines.extend(self.keys)
+        return "\n".join(lines)
+
+
+@dataclass
+class IdentUnsubscribe:
+    """Cancel one subscriber's standing interest in one host."""
+
+    host_ip: str
+    subscriber: str
+
+    def __post_init__(self) -> None:
+        self.host_ip = str(self.host_ip)
+        if not self.subscriber or any(ch.isspace() for ch in self.subscriber):
+            raise WireFormatError(f"invalid ident++ subscriber name: {self.subscriber!r}")
+
+    def to_payload(self) -> str:
+        return f"UNSUBSCRIBE {self.subscriber}"
+
+
+def parse_push_payload(payload: str, *, host_ip):
+    """Parse one push-plane payload; dispatches on the first token.
+
+    Returns the matching message dataclass.  ``host_ip`` supplies the
+    addressing the payload itself does not carry (it rides in the IP
+    header, like query/response addressing does).  Raises
+    :class:`WireFormatError` on malformed input or an unsupported
+    version.
+    """
+    lines = str(payload).splitlines()
+    if not lines or not lines[0].split():
+        raise WireFormatError("empty ident++ push payload")
+    head = lines[0].split()
+    kind = head[0].upper()
+    rest = tuple(line.strip() for line in lines[1:] if line.strip())
+    if kind == "SUBSCRIBE":
+        if len(head) != 3:
+            raise WireFormatError(f"malformed SUBSCRIBE line: {lines[0]!r}")
+        try:
+            version = int(head[1])
+        except ValueError as exc:
+            raise WireFormatError(f"malformed SUBSCRIBE version: {lines[0]!r}") from exc
+        if version < WIRE_VERSION_PUSH:
+            raise WireFormatError(
+                f"SUBSCRIBE requires wire version >= {WIRE_VERSION_PUSH} (got {version})"
+            )
+        return IdentSubscribe(host_ip=host_ip, subscriber=head[2], keys=rest or tuple(DEFAULT_QUERY_KEYS), version=version)
+    if kind == "SUBSCRIBE-ACK":
+        if len(head) != 4 or head[2] not in ("ok", "refused"):
+            raise WireFormatError(f"malformed SUBSCRIBE-ACK line: {lines[0]!r}")
+        try:
+            version, serial = int(head[1]), int(head[3])
+        except ValueError as exc:
+            raise WireFormatError(f"malformed SUBSCRIBE-ACK line: {lines[0]!r}") from exc
+        return IdentSubscribeAck(
+            host_ip=host_ip, accepted=head[2] == "ok",
+            capabilities=rest, version=version, serial=serial,
+        )
+    if kind == "DELTA":
+        if len(head) != 3:
+            raise WireFormatError(f"malformed DELTA line: {lines[0]!r}")
+        try:
+            serial = int(head[1])
+        except ValueError as exc:
+            raise WireFormatError(f"malformed DELTA serial: {lines[0]!r}") from exc
+        reason = "" if head[2] == "-" else head[2]
+        return IdentDelta(host_ip=host_ip, serial=serial, reason=reason, keys=rest)
+    if kind == "UNSUBSCRIBE":
+        if len(head) != 2:
+            raise WireFormatError(f"malformed UNSUBSCRIBE line: {lines[0]!r}")
+        return IdentUnsubscribe(host_ip=host_ip, subscriber=head[1])
+    raise WireFormatError(f"unknown ident++ push message kind: {head[0]!r}")
 
 
 def parse_query_payload(

@@ -5,6 +5,7 @@ network (single-controller or cluster):
 
 * per-shard probes — punt rate (windowed over ``packet_ins``), pending
   depth, serial-queue depth, query-engine hit/negative/coalesce ratios,
+  push-plane resident ratio / subscription count / delta rate,
   heartbeat gap;
 * per-switch probes — flow-table occupancy, FlowRemoved rate;
 * cluster rollups — aggregate punt rate, aggregate hit ratio, total
@@ -104,6 +105,7 @@ class TelemetryPlane:
         self._last_seen: dict[str, float] = {}
         self._rates: dict[str, RateCounter] = {}
         self._ratios: dict[str, dict[str, float]] = {}
+        self._push: dict[str, dict[str, float]] = {}
 
         self._wire_probes()
         self._wire_detectors(
@@ -165,6 +167,30 @@ class TelemetryPlane:
                     f"{name}.{ratio}",
                     lambda now, n=name, key=ratio: self._ratios[n][key],
                 )
+            # Push-plane probes: resident-hit share of all lookups,
+            # standing subscription count, and the delta arrival rate
+            # (windowed over the engine's deltas_applied total).  All
+            # three read one cached push_telemetry() call per sweep.
+            pipe.add_updater(
+                lambda now, n=name, c=controller: self._push.__setitem__(
+                    n, c.query_engine.push_telemetry()
+                )
+            )
+            pipe.probe(
+                f"{name}.resident_ratio",
+                lambda now, n=name: self._push[n]["resident_ratio"],
+            )
+            pipe.probe(
+                f"{name}.subscriptions",
+                lambda now, n=name: self._push[n]["subscriptions"],
+            )
+            delta_rate = self._rate(f"{name}.delta_rate")
+            pipe.add_updater(
+                lambda now, rc=delta_rate, n=name: rc.observe_total(
+                    now, self._push[n]["deltas_applied"]
+                )
+            )
+            pipe.probe(f"{name}.delta_rate", lambda now, rc=delta_rate: rc.rate(now))
 
         # --- heartbeat tracking (cluster only) ------------------------
         if self.cluster is not None:

@@ -23,10 +23,12 @@ Every cell reports two things:
   does not merely record numbers.
 
 ``python -m repro.workloads.experiment`` (``make matrix``) runs the
-committed :func:`default_matrix` — 26 cells covering roaming users
+committed :func:`default_matrix` — 30 cells covering roaming users
 re-homing across leaves, multi-tenant isolation, partition + heal, a
-worm outbreak racing cluster-wide quarantine, and 90 % daemon-less
-legacy fleets — and exits nonzero on any invariant failure.
+worm outbreak racing cluster-wide quarantine, 90 % daemon-less legacy
+fleets, and the push identity plane (flash-crowd A/B against pull,
+shard-kill subscription re-homing, push over a daemon-less fleet) —
+and exits nonzero on any invariant failure.
 """
 
 from __future__ import annotations
@@ -85,6 +87,7 @@ class ScenarioSpec:
     servers: int = 2
     daemon_fraction: float = 1.0
     query_cache_ttl: float = 0.0
+    identity_plane: str = "pull"
     duration: float = 12.0
     seed: int = 2009
     sanitize: bool = False
@@ -94,6 +97,8 @@ class ScenarioSpec:
         parts = [self.topology, self.control, self.policy, self.traffic, self.failure]
         if self.daemon_fraction < 1.0:
             parts.append(f"daemons{int(round(self.daemon_fraction * 100))}%")
+        if self.identity_plane != "pull":
+            parts.append(self.identity_plane)
         return "/".join(parts)
 
     def validate(self) -> None:
@@ -114,6 +119,8 @@ class ScenarioSpec:
             raise ValueError("partition_heal needs the spine_leaf topology")
         if not 0.0 <= self.daemon_fraction <= 1.0:
             raise ValueError(f"daemon_fraction must be in [0, 1] (got {self.daemon_fraction})")
+        if self.identity_plane not in ("pull", "push"):
+            raise ValueError(f"identity_plane must be 'pull' or 'push' (got {self.identity_plane!r})")
         if self.flows < 1 or self.clients < 1 or self.servers < 1:
             raise ValueError("flows, clients and servers must be positive")
         if (self.failure == "retenant") != (self.traffic == "retenant"):
@@ -667,6 +674,9 @@ def _build_network(spec: ScenarioSpec) -> IdentPPNetwork:
         idle_timeout=1.0,
         state_timeout=2.0,
         query_cache_ttl=spec.query_cache_ttl,
+        identity_plane=spec.identity_plane,
+        push_promote_punts=2,
+        push_idle_demote=5.0,
     )
     shards = CONTROLS[spec.control]
     if shards:
@@ -847,6 +857,10 @@ def _state_caps(ctx: CellContext) -> dict[str, float]:
         "decision_cache_final": 0.0,
         "state_table_final": 0.0,
         "flow_table_final": quarantine_allowance,
+        # Push plane: subscriptions are bounded by the host population
+        # while running and fully demoted (idle sweeper) after drain.
+        "subscriptions_peak": float(len(ctx.net.hosts)),
+        "subscriptions_final": 0.0,
     }
 
 
@@ -955,6 +969,7 @@ class CellReport:
                 "traffic": self.spec.traffic,
                 "failure": self.spec.failure,
                 "daemon_fraction": self.spec.daemon_fraction,
+                "identity_plane": self.spec.identity_plane,
             },
             "seed": self.spec.seed,
             "repeats": self.repeats,
@@ -1077,7 +1092,7 @@ MATRIX_MIN_CELLS = 20
 
 
 def default_matrix() -> list[ScenarioSpec]:
-    """The committed scenario matrix: 26 cells across every axis."""
+    """The committed scenario matrix: 30 cells across every axis."""
     cells: list[ScenarioSpec] = []
     base = ScenarioSpec()
     # Core sweep: topology x control for the port- and app-gated stories.
@@ -1134,6 +1149,26 @@ def default_matrix() -> list[ScenarioSpec]:
         base=replace(base, policy="web_open", traffic="legacy_fleet",
                      clients=10, daemon_fraction=0.1, query_cache_ttl=2.0,
                      seed=base.seed + 800),
+    )
+    # Push identity plane (PR 10): a flash crowd hammers two servers on
+    # both planes (A/B), push rides out a shard kill with subscription
+    # re-homing, and push degrades gracefully on a 90 % daemon-less fleet.
+    cells += expand_grid(
+        {"identity_plane": ["pull", "push"]},
+        base=replace(base, topology="single", policy="web_open",
+                     traffic="web_burst", flows=48, query_cache_ttl=2.0,
+                     seed=base.seed + 900),
+    )
+    cells += expand_grid(
+        {"identity_plane": ["push"]},
+        base=replace(base, control="cluster4", failure="kill_shard",
+                     query_cache_ttl=2.0, seed=base.seed + 920),
+    )
+    cells += expand_grid(
+        {"identity_plane": ["push"]},
+        base=replace(base, policy="web_open", traffic="legacy_fleet",
+                     clients=10, daemon_fraction=0.1, query_cache_ttl=2.0,
+                     seed=base.seed + 940),
     )
     # Cell names must be unique: the grids above never collide, keep it so.
     names = [spec.name for spec in cells]

@@ -274,8 +274,9 @@ def network_flow_state(net) -> dict[str, int]:
 
     Returns the sizes the bounded-state checker (and the drain clauses
     of fail-closed / zero-loss) care about: pending punts, buffered
-    packets, decision-cache entries, ``keep state`` entries and
-    installed flow-table entries, summed across the control plane.
+    packets, decision-cache entries, ``keep state`` entries, installed
+    flow-table entries and standing push subscriptions, summed across
+    the control plane.
     """
     controllers = list(net.controllers.values())
     return {
@@ -284,6 +285,9 @@ def network_flow_state(net) -> dict[str, int]:
         "decision_cache": sum(len(c.cache) for c in controllers),
         "state_table": sum(len(c.cache.state_table) for c in controllers),
         "flow_table": sum(len(s.flow_table) for s in net.switches.values()),
+        "subscriptions": sum(
+            c.query_engine.subscription_count() for c in controllers
+        ),
     }
 
 

@@ -36,9 +36,18 @@ gates it, runnable standalone (``make soak_queries``) and recorded in
   2-shard cluster costs the hot daemon one answer per deciding shard,
   not one per flow.
 
+* **Flash crowd (push plane)** — the PR 10 claim.  The same crowd runs
+  once per identity plane.  On the pull plane every TTL lapse costs a
+  fresh round trip; on the push plane the hot server is promoted to a
+  standing subscription, steady-state punts are answered from the
+  resident store with **zero** daemon queries, and after an identity
+  publish the delta-driven refresh converges faster than the pull
+  plane's invalidate-then-requery round trip.
+
 Run standalone::
 
-    python -m repro.workloads.queryload
+    python -m repro.workloads.queryload          # every phase
+    python -m repro.workloads.queryload push     # flash-crowd gate only
 """
 
 from __future__ import annotations
@@ -66,6 +75,39 @@ QUERYLOAD_POLICY = (
 QUERY_SPEEDUP_FLOOR = 5.0
 
 
+def flash_violations(flash: dict) -> list[str]:
+    """Apply the PR 10 flash-crowd gates to one phase result.
+
+    Shared by the full soak report and the push-only entry point
+    (``make soak_push``) so the gate cannot fork.
+    """
+    pull, push = flash["pull"], flash["push"]
+    violations = []
+    if push["subscriptions"] < 1:
+        violations.append(
+            "flash crowd never promoted the hot server to a standing subscription"
+        )
+    if push["steady_queries"] != 0:
+        violations.append(
+            f"steady-state punts issued {push['steady_queries']} daemon queries "
+            "on the push plane (subscribed hosts must issue zero)"
+        )
+    if push["deltas_applied"] < 1:
+        violations.append(
+            "the identity publish produced no delta on the push plane"
+        )
+    if push["duplicate_deltas"]:
+        violations.append(
+            f"{push['duplicate_deltas']} duplicate deltas applied on the push plane"
+        )
+    if push["convergence"] >= pull["convergence"]:
+        violations.append(
+            f"push convergence {push['convergence']:.6f}vs not better than the "
+            f"pull TTL path's {pull['convergence']:.6f}vs"
+        )
+    return violations
+
+
 @dataclass
 class QueryLoadConfig:
     """Tunables of the query-heavy soak."""
@@ -86,10 +128,24 @@ class QueryLoadConfig:
     #: Short TTL used by the expiry probe.
     ttl_probe: float = 0.25
     cluster_shards: int = 2
+    #: Flash-crowd phase: flows per wave, steady waves after the warm
+    #: one, the gap between waves (longer than ``ttl_probe`` so the pull
+    #: plane pays a TTL lapse per wave), and how long after an identity
+    #: publish the convergence probe punts.
+    flash_flows: int = 30
+    flash_waves: int = 3
+    flash_wave_gap: float = 0.5
+    convergence_probe_delay: float = 0.05
 
-    def controller_config(self, *, cache_ttl: float) -> ControllerConfig:
+    def controller_config(
+        self, *, cache_ttl: float, identity_plane: str = "pull"
+    ) -> ControllerConfig:
         """Return the controller config for one phase run."""
-        return ControllerConfig(query_cache_ttl=cache_ttl)
+        return ControllerConfig(
+            query_cache_ttl=cache_ttl,
+            identity_plane=identity_plane,
+            push_promote_punts=2,
+        )
 
 
 @dataclass
@@ -119,6 +175,15 @@ class QueryLoadReport:
     cluster_shards_deciding: int
     cluster_daemon_answers: int
     cluster_per_shard_lookups: dict[str, int]
+    flash_flows: int
+    pull_steady_queries: int
+    push_steady_queries: int
+    push_subscriptions: int
+    push_resident_hits: int
+    push_deltas_applied: int
+    push_duplicate_deltas: int
+    pull_convergence: float
+    push_convergence: float
     wall_seconds: float = 0.0
     # Computed from the fields above, never passed in.
     violations: list[str] = field(init=False, default_factory=list)
@@ -170,6 +235,19 @@ class QueryLoadReport:
                 f"answers for {self.cluster_shards_deciding} deciding shards "
                 "(want one per shard engine)"
             )
+        violations.extend(flash_violations({
+            "pull": {
+                "steady_queries": self.pull_steady_queries,
+                "convergence": self.pull_convergence,
+            },
+            "push": {
+                "steady_queries": self.push_steady_queries,
+                "convergence": self.push_convergence,
+                "subscriptions": self.push_subscriptions,
+                "deltas_applied": self.push_deltas_applied,
+                "duplicate_deltas": self.push_duplicate_deltas,
+            },
+        }))
         return violations
 
     @property
@@ -212,6 +290,21 @@ class QueryLoadReport:
                 "daemon_answers": self.cluster_daemon_answers,
                 "per_shard_lookups": dict(self.cluster_per_shard_lookups),
             },
+            "push_plane": {
+                "flows": self.flash_flows,
+                "pull_steady_queries": self.pull_steady_queries,
+                "push_steady_queries": self.push_steady_queries,
+                "push_subscriptions": self.push_subscriptions,
+                "push_resident_hits": self.push_resident_hits,
+                "push_deltas_applied": self.push_deltas_applied,
+                "push_duplicate_deltas": self.push_duplicate_deltas,
+                "pull_convergence_vsec": round(self.pull_convergence, 6),
+                "push_convergence_vsec": round(self.push_convergence, 6),
+                "zero_query_ok": (
+                    self.push_steady_queries == 0 and self.push_subscriptions >= 1
+                ),
+                "convergence_ok": self.push_convergence < self.pull_convergence,
+            },
             "gates_ok": self.gates_ok,
             "violations": list(self.violations),
             "wall_seconds": round(self.wall_seconds, 3),
@@ -233,6 +326,7 @@ class QueryLoadBench:
         name: str,
         *,
         cache_ttl: float,
+        identity_plane: str = "pull",
         legacy_server: bool = False,
     ) -> IdentPPNetwork:
         """Clients — sw-edge — sw-core — hot servers (+ optional legacy)."""
@@ -240,7 +334,9 @@ class QueryLoadBench:
         net = IdentPPNetwork(
             name,
             policy_default_action="block",
-            controller_config=cfg.controller_config(cache_ttl=cache_ttl),
+            controller_config=cfg.controller_config(
+                cache_ttl=cache_ttl, identity_plane=identity_plane,
+            ),
         )
         self._populate(net, legacy_server=legacy_server)
         return net
@@ -443,17 +539,89 @@ class QueryLoadBench:
             "per_shard_lookups": per_shard_lookups,
         }
 
+    def _run_flash_phase(self) -> dict:
+        """A flash crowd on both identity planes: steady state + convergence.
+
+        The same crowd (one warm wave, then ``flash_waves`` steady waves
+        spaced beyond the TTL) runs once per plane.  Afterwards the hot
+        daemon publishes new runtime keys and a single probe flow punts
+        ``convergence_probe_delay`` later: its decision latency is the
+        plane's convergence cost after an identity change.
+        """
+        cfg = self.config
+        out: dict = {"flows": cfg.flash_flows * (1 + cfg.flash_waves)}
+        for plane in ("pull", "push"):
+            net = self._build_net(
+                f"queryload-flash-{plane}",
+                cache_ttl=cfg.ttl_probe, identity_plane=plane,
+            )
+            sim = net.topology.sim
+            daemon = net.daemon("server0")
+            engine = net.controller.query_engine
+
+            def wave() -> None:
+                for index in range(cfg.flash_flows):
+                    client = net.host(f"client{index % cfg.clients}")
+                    client.open_flow("http", "alice", "192.168.1.1", 80)
+
+            wave()  # warm wave: promotes the hot server on the push plane
+            net.run()
+            warm_answers = int(daemon.queries_answered.value)
+            for _ in range(cfg.flash_waves):
+                sim.schedule_at(sim.now + cfg.flash_wave_gap, wave,
+                                label="queryload.flash_wave")
+                net.run()
+            steady_queries = int(daemon.queries_answered.value) - warm_answers
+
+            # Identity change: publish new runtime keys for httpd, then
+            # punt one probe flow and time its verdict.
+            server = net.host("server0")
+            httpd_process = next(
+                socket.process for socket in server.sockets.sockets()
+                if socket.is_listening and socket.local_port == 80
+            )
+            t_pub = sim.now + 0.05
+            sim.schedule_at(t_pub, daemon.runtime.publish_for_process,
+                            httpd_process, {"patched": "yes"},
+                            label="queryload.flash_publish")
+            probe_at = t_pub + cfg.convergence_probe_delay
+            probe_client = net.host("client0")
+            sim.schedule_at(probe_at, probe_client.open_flow,
+                            "http", "alice", "192.168.1.1", 80,
+                            label="queryload.flash_probe")
+            net.run()
+            probe = next(
+                record for record in net.controller.audit.records()
+                if record.time >= probe_at and not record.cached
+            )
+            stats = engine.stats()
+            out[plane] = {
+                "steady_queries": steady_queries,
+                "convergence": probe.time - probe_at,
+                "subscriptions": engine.subscription_count(),
+                "resident_hits": int(stats.get("resident_hits", 0)),
+                "deltas_applied": int(stats.get("deltas_applied", 0)),
+                "duplicate_deltas": int(stats.get("duplicate_deltas", 0)),
+            }
+        return out
+
     # ------------------------------------------------------------------
-    # Entry point
+    # Entry points
     # ------------------------------------------------------------------
 
+    def run_flash(self) -> tuple[dict, list[str]]:
+        """Run only the flash-crowd phase; return (result, violations)."""
+        flash = self._run_flash_phase()
+        return flash, flash_violations(flash)
+
     def run(self) -> QueryLoadReport:
-        """Run all four phases and return the gated report."""
+        """Run all five phases and return the gated report."""
         wall_start = time.perf_counter()
         hot = self._run_hot_phase()
         legacy = self._run_legacy_phase()
         invalidation = self._run_invalidation_phase()
         cluster = self._run_cluster_phase()
+        flash = self._run_flash_phase()
         return QueryLoadReport(
             flows_hot=hot["flows"],
             uncached_decided_per_vsec=hot["uncached"]["per_vsec"],
@@ -478,6 +646,15 @@ class QueryLoadBench:
             cluster_shards_deciding=cluster["shards_deciding"],
             cluster_daemon_answers=cluster["daemon_answers"],
             cluster_per_shard_lookups=cluster["per_shard_lookups"],
+            flash_flows=flash["flows"],
+            pull_steady_queries=flash["pull"]["steady_queries"],
+            push_steady_queries=flash["push"]["steady_queries"],
+            push_subscriptions=flash["push"]["subscriptions"],
+            push_resident_hits=flash["push"]["resident_hits"],
+            push_deltas_applied=flash["push"]["deltas_applied"],
+            push_duplicate_deltas=flash["push"]["duplicate_deltas"],
+            pull_convergence=flash["pull"]["convergence"],
+            push_convergence=flash["push"]["convergence"],
             wall_seconds=time.perf_counter() - wall_start,
         )
 
@@ -488,9 +665,30 @@ def _print_report(payload: dict[str, object]) -> None:
         print(f"  {key:<{width}}  {value}")
 
 
-def main() -> int:
-    """``make soak_queries`` entry point: all phases, gated."""
-    print("running query-cache soak (hot server, legacy host, invalidation, cluster) ...")
+def main(argv: Optional[list[str]] = None) -> int:
+    """``make soak_queries`` / ``make soak_push`` entry point, gated."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description="Run the query-load soak")
+    parser.add_argument("phase", nargs="?", choices=("all", "push"), default="all",
+                        help="'push' runs only the flash-crowd push-plane gate")
+    args = parser.parse_args(argv)
+    if args.phase == "push":
+        print("running flash-crowd push-plane soak (pull vs push identity plane) ...")
+        flash, violations = QueryLoadBench().run_flash()
+        _print_report({"flows": flash["flows"],
+                       "pull": flash["pull"], "push": flash["push"]})
+        if violations:
+            for violation in violations:
+                print(f"FAIL: {violation}")
+            return 1
+        print(
+            "push soak ok: steady-state punts issue zero daemon queries and "
+            "delta-driven convergence beats the TTL path"
+        )
+        return 0
+    print("running query-cache soak (hot server, legacy host, invalidation, "
+          "cluster, flash crowd) ...")
     report = QueryLoadBench().run()
     _print_report(report.as_dict())
     if not report.gates_ok:

@@ -2,11 +2,17 @@
 
 import pytest
 
+from repro.cluster.cluster import identity_key
 from repro.core.controller import ControllerConfig
 from repro.core.network import HostSpec, IdentPPClusterNetwork, IdentPPNetwork
 from repro.exceptions import SimulationError
 from repro.identpp.flowspec import FlowSpec
-from repro.workloads.invariants import check_zero_loss, network_audit_records, network_flow_state
+from repro.workloads.invariants import (
+    check_bounded_state,
+    check_zero_loss,
+    network_audit_records,
+    network_flow_state,
+)
 
 
 def assert_zero_loss(net, flows):
@@ -347,3 +353,172 @@ class TestSerializedDecisionLoop:
         # stale event's slot.
         assert decided.time > 0.35
         assert not net.controller._pending
+
+
+class TestPushSubscriptionRehoming:
+    """Killing a subscribed shard re-homes its push subscriptions."""
+
+    SERVER_IP = "192.168.1.1"
+
+    def _build(self):
+        # One punt promotes: every shard that decides a flow to the
+        # server registers standing interest on its first punt.  The
+        # lifecycle sweeper is on so idle demotion actually runs.
+        return build_network(
+            controller_config=ControllerConfig(
+                identity_plane="push",
+                push_promote_punts=1,
+                query_cache_ttl=2.0,
+                lifecycle_interval=0.25,
+                # Longer than the scripted timeline (the probe decides
+                # at ~t=2.0), shorter than forever: the final drain
+                # still demotes everything.
+                push_idle_demote=3.0,
+            )
+        )
+
+    def _httpd_process(self, net):
+        server = net.host("server")
+        return next(
+            socket.process
+            for socket in server.sockets.sockets()
+            if socket.is_listening and socket.local_port == 80
+        )
+
+    def _subscribed_shards(self, net):
+        return [
+            name
+            for name, controller in net.cluster.replicas.items()
+            if controller.query_engine.is_subscribed(self.SERVER_IP)
+        ]
+
+    def test_kill_mid_delta_stream_rehomes_without_lost_or_duplicate_deltas(self):
+        net = self._build()
+        client = net.host("client")
+        daemon = net.daemon("server")
+        flows = []
+        for _ in range(4):
+            packet, _, _ = client.open_flow("http", "alice", self.SERVER_IP, 80)
+            flows.append(FlowSpec.from_packet(packet))
+        net.run(0.5)
+
+        subscribed = self._subscribed_shards(net)
+        assert subscribed, "no shard promoted the hot server"
+        assert daemon.subscriber_count() == len(subscribed)
+        victim = subscribed[0]
+
+        # A stream of runtime deltas brackets the kill: two land before
+        # the shard dies, two land after the monitor's failover.
+        sim = net.topology.sim
+        httpd = self._httpd_process(net)
+        for offset in (0.05, 0.1, 0.5, 0.7):
+            sim.schedule_at(
+                sim.now + offset,
+                daemon.runtime.publish_for_process,
+                httpd,
+                {"rev": f"r{offset}"},
+                label="test.delta_stream",
+            )
+        net.start_monitoring()
+        sim.schedule_at(sim.now + 0.2, net.cluster.kill, victim, label="test.kill")
+        net.run(1.0)
+        net.stop_monitoring()
+        net.run(0.5)
+
+        successor = net.cluster.shard_map.owner_of_key(identity_key(self.SERVER_IP))
+        assert successor != victim
+        engine = net.cluster.replicas[successor].query_engine
+        assert engine.is_subscribed(self.SERVER_IP)
+        assert engine.subscriptions_adopted >= 1
+        # No lost deltas: the adopted subscription's serial caught up
+        # with everything the daemon published, including the deltas
+        # that landed after the kill.
+        assert engine._subs[self.SERVER_IP].serial == daemon.delta_serial
+        # No duplicate deltas were applied anywhere in the cluster.
+        for controller in net.cluster.replicas.values():
+            assert controller.query_engine.duplicate_deltas == 0
+        # The corpse is fully torn down daemon-side: only live
+        # subscribers still hold delta sinks.
+        assert net.cluster.replicas[victim].query_engine.subscription_count() == 0
+        live_subscribed = self._subscribed_shards(net)
+        assert victim not in live_subscribed
+        assert daemon.subscriber_count() == len(live_subscribed)
+        # The re-home was committed to the replay log.
+        kinds = [r.kind for r in net.cluster.coordinator.audit_trail()]
+        assert "subscription_rehome" in kinds
+
+        # The successor is resident: a re-punted flow it owns decides
+        # without a single new query to the server's daemon.
+        answered_before = int(daemon.queries_answered.value)
+        probe = None
+        for _ in range(64):
+            packet, _, _ = client.open_flow(
+                "http", "alice", self.SERVER_IP, 80, send=False
+            )
+            flow = FlowSpec.from_packet(packet)
+            if net.cluster.shard_map.owner(flow) == successor:
+                probe = (packet, flow)
+                break
+        assert probe is not None, "no probe flow hashed to the successor"
+        client.transmit(probe[0])
+        net.run(0.5)
+        flows.append(probe[1])
+        assert int(daemon.queries_answered.value) == answered_before
+        probe_records = [
+            r for r in net.cluster.replicas[successor].audit.records()
+            if r.flow == probe[1]
+        ]
+        assert [r.action for r in probe_records] == ["pass"]
+
+        # Shared invariants: the subscription table stays bounded by the
+        # shard count while running...
+        state = network_flow_state(net)
+        bounded = check_bounded_state(
+            {"subscriptions": state["subscriptions"]},
+            {"subscriptions": float(len(net.cluster.replicas))},
+        )
+        assert bounded.passed, bounded.violations
+        # ...and the idle sweeper drains it completely: no engine keeps
+        # a subscription and the daemon holds no stale sink (the
+        # stale-subscription leak check, across a failover).
+        net.run()
+        assert daemon.subscriber_count() == 0
+        for controller in net.cluster.replicas.values():
+            assert controller.query_engine.subscription_count() == 0
+        assert_zero_loss(net, flows)
+
+    def test_fresh_adoption_installs_resident_entries_without_requery(self):
+        # Quiet daemon across the kill: serials match at adoption, so
+        # the exported resident answers install verbatim and the
+        # successor never re-queries the daemon for them.
+        net = self._build()
+        client = net.host("client")
+        daemon = net.daemon("server")
+        flows = []
+        for _ in range(4):
+            packet, _, _ = client.open_flow("http", "alice", self.SERVER_IP, 80)
+            flows.append(FlowSpec.from_packet(packet))
+        net.run(0.5)
+
+        subscribed = self._subscribed_shards(net)
+        assert subscribed
+        victim = subscribed[0]
+        victim_engine = net.cluster.replicas[victim].query_engine
+        exported_serial = victim_engine._subs[self.SERVER_IP].serial
+        answered_before = int(daemon.queries_answered.value)
+
+        net.start_monitoring()
+        net.cluster.kill(victim)
+        net.run(1.0)
+        net.stop_monitoring()
+        net.run(0.5)
+
+        successor = net.cluster.shard_map.owner_of_key(identity_key(self.SERVER_IP))
+        engine = net.cluster.replicas[successor].query_engine
+        assert engine.is_subscribed(self.SERVER_IP)
+        assert engine._subs[self.SERVER_IP].serial == exported_serial
+        assert engine.adoptions_stale == 0
+        # Adoption was free: no refresh round-trips hit the daemon.
+        assert int(daemon.queries_answered.value) == answered_before
+        net.run()
+        assert_zero_loss(net, flows)

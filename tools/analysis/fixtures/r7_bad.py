@@ -1,0 +1,23 @@
+"""R7 fixture (bad): raw QueryClient calls that bypass the engine."""
+
+from repro.identpp.client import QueryClient
+
+
+def raw_local_client(topology, flow):
+    client = QueryClient(topology)
+    # Uncached, uncoalesced, no invalidation hook: a stale identity
+    # served from here can never be dropped.
+    return client.query(flow, "dst")
+
+
+class SidechannelController:
+    def __init__(self, query_client):
+        self.query_client = query_client
+        self.client = query_client
+
+    def decide(self, flow, switch):
+        src, dst = self.query_client.query_both_ends(flow, from_node=switch)
+        return src, dst
+
+    def decide_async(self, flow):
+        return self.client.query_async(flow, "src")

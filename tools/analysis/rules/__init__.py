@@ -6,6 +6,7 @@ from tools.analysis.rules.r3_broad_except import BroadExceptRule
 from tools.analysis.rules.r4_blocking_callback import BlockingCallbackRule
 from tools.analysis.rules.r5_mutable_defaults import MutableDefaultsRule
 from tools.analysis.rules.r6_metric_names import MetricNamesRule
+from tools.analysis.rules.r7_engine_facade import EngineFacadeRule
 
 #: Every rule, in id order — the default rule set of ``run_lint.py``.
 ALL_RULES = (
@@ -15,6 +16,7 @@ ALL_RULES = (
     BlockingCallbackRule(),
     MutableDefaultsRule(),
     MetricNamesRule(),
+    EngineFacadeRule(),
 )
 
 
@@ -32,4 +34,5 @@ __all__ = [
     "BlockingCallbackRule",
     "MutableDefaultsRule",
     "MetricNamesRule",
+    "EngineFacadeRule",
 ]

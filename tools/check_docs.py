@@ -38,6 +38,7 @@ REQUIRED_SECTIONS: dict[str, list[str]] = {
         "## Package dependency order",
         "## Life of a punted flow (multi-hop edition)",
         "## Query engine",
+        "## Identity plane (push)",
         "## Decision core",
         "## Telemetry plane",
         "## Experiment harness",
@@ -51,6 +52,7 @@ REQUIRED_SECTIONS: dict[str, list[str]] = {
         "### Determinism gate (PR 7)",
         "### Telemetry (PR 8)",
         "### Scenario matrix (PR 9)",
+        "### Push plane (PR 10)",
         "## `derived` entries",
     ],
     "docs/ANALYSIS.md": [
@@ -62,6 +64,7 @@ REQUIRED_SECTIONS: dict[str, list[str]] = {
         "### R4 — event callbacks must not re-enter the loop or block",
         "### R5 — no mutable defaults, no anonymous counters",
         "### R6 — histograms and rate counters must be named",
+        "### R7 — ident++ queries must go through the QueryEngine facade",
         "## Suppression",
         "## The runtime sanitizer",
     ],
